@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Ablations of GraphABCD's individual design choices (the trade-offs
+ * Sec. III-C and IV-A argue for), run on the simulated HARP platform:
+ *
+ *  1. block size vs total execution time — trade-off 1: small blocks
+ *     converge faster but pay coordination/invocation overhead, large
+ *     blocks stream better; the paper picks a middle block size;
+ *  2. dispatch-window (staleness) sweep — asynchronous BCD's bounded
+ *     delay: more in-flight blocks improve overlap until staleness
+ *     inflates the epoch count;
+ *  3. GATHER-APPLY placement — offloading GATHER-APPLY moves |E|
+ *     sequential reads to the accelerator and leaves |V| writes, vs a
+ *     SCATTER offload that would move 2|E| (Sec. IV-A2's traffic
+ *     argument, evaluated from the real partition);
+ *  4. state-based vs operation-based updates (Sec. IV-A3): epochs to
+ *     converge under serial execution — the async-correctness argument
+ *     is demonstrated in tests/test_delta_lp.cc.
+ */
+
+#include "bench_common.hh"
+
+#include "core/delta_state.hh"
+#include "core/engine.hh"
+
+namespace graphabcd {
+namespace {
+
+using namespace bench;
+
+int
+benchMain(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.declare("graph", "PS", "dataset key");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    Dataset ds = loadDataset(flags.get("graph"), flags);
+
+    // ------------------------------------------- 1. block size sweep
+    {
+        Table t({"block size", "blocks", "epochs", "sim time (s)",
+                 "MTES"});
+        for (VertexId bs : {64u, 256u, 1024u, 4096u, 16384u}) {
+            BlockPartition g(ds.graph, bs);
+            EngineOptions opt;
+            opt.blockSize = bs;
+            RunResult r = abcdPagerank(g, opt, HarpConfig{});
+            t.row()
+                .add(static_cast<std::uint64_t>(bs))
+                .add(static_cast<std::uint64_t>(g.numBlocks()))
+                .add(r.iterations, 4)
+                .add(r.seconds, 4)
+                .add(r.mtes, 4);
+        }
+        std::cout << "-- ablation 1: block size (PR, "
+                  << ds.info.key << ")\n";
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // --------------------------------- 2. staleness (queue depth) sweep
+    {
+        Table t({"accel queue depth", "epochs", "sim time (s)",
+                 "PE util"});
+        BlockPartition g(ds.graph, 512);
+        for (std::uint32_t depth : {1u, 4u, 16u, 64u, 256u}) {
+            EngineOptions opt;
+            opt.blockSize = 512;
+            HarpConfig cfg;
+            cfg.accelQueueDepth = depth;
+            RunResult r = abcdPagerank(g, opt, cfg);
+            t.row()
+                .add(static_cast<std::uint64_t>(depth))
+                .add(r.iterations, 4)
+                .add(r.seconds, 4)
+                .add(r.sim.peUtilization, 3);
+        }
+        std::cout << "-- ablation 2: staleness window (PR, "
+                  << ds.info.key << ")\n";
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // ----------------------------- 3. GATHER-APPLY placement traffic
+    {
+        BlockPartition g(ds.graph, 512);
+        const double e = static_cast<double>(g.numEdges());
+        const double v = static_cast<double>(g.numVertices());
+        const double edge_rec = 16.0, value = 8.0;
+        Table t({"offload", "accel traffic (model)", "bytes"});
+        t.row()
+            .add("GATHER-APPLY only (GraphABCD)")
+            .add("|E| reads + |V| writes")
+            .add(formatBytes(e * edge_rec + v * value));
+        t.row()
+            .add("GATHER-APPLY + SCATTER")
+            .add("|E| reads + |E| writes")
+            .add(formatBytes(e * edge_rec + e * value));
+        std::cout << "-- ablation 3: per-epoch accelerator traffic\n";
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // ------------------------- 4. state-based vs operation-based (PR)
+    {
+        BlockPartition g(ds.graph, 512);
+        EngineOptions opt;
+        opt.blockSize = 512;
+        opt.tolerance = prTolerance(g.numVertices());
+        SerialEngine<PageRankProgram> engine(g, PageRankProgram(0.85),
+                                             opt);
+        std::vector<double> x;
+        EngineReport state_based = engine.run(x);
+
+        std::vector<double> y;
+        double delta_epochs = runDeltaSerial(
+            g, PageRankDeltaProgram(0.85), y,
+            opt.tolerance * 0.05, 500.0);
+
+        Table t({"update information", "epochs",
+                 "async-safe without sync?"});
+        t.row()
+            .add("state-based (GraphABCD)")
+            .add(state_based.epochs, 4)
+            .add("yes — overwrites are idempotent");
+        t.row()
+            .add("operation-based (PR-Delta)")
+            .add(delta_epochs, 4)
+            .add("no — consume/accumulate races (see tests)");
+        std::cout << "-- ablation 4: update information\n";
+        t.print(std::cout);
+    }
+
+    // ------------------- 5. fixed vs edge-balanced block boundaries
+    {
+        BlockPartition fixed(ds.graph, 512);
+        const EdgeId target = fixed.numBlocks()
+            ? ds.graph.numEdges() / fixed.numBlocks()
+            : 4096;
+        BlockPartition balanced(ds.graph, target,
+                                BlockPartition::EdgeBalanced{});
+
+        auto stats = [](const BlockPartition &g) {
+            EdgeId max_edges = 0;
+            for (BlockId b = 0; b < g.numBlocks(); b++)
+                max_edges = std::max(max_edges, g.blockEdgeCount(b));
+            return max_edges;
+        };
+        auto run = [&](const BlockPartition &g) {
+            EngineOptions opt;
+            opt.blockSize = g.blockSize();
+            return abcdPagerank(g, opt, HarpConfig{});
+        };
+        RunResult rf = run(fixed);
+        RunResult rb = run(balanced);
+
+        Table t({"partition", "blocks", "max block edges",
+                 "sim time (s)", "PE util"});
+        t.row()
+            .add("fixed 512 vertices")
+            .add(static_cast<std::uint64_t>(fixed.numBlocks()))
+            .add(static_cast<std::uint64_t>(stats(fixed)))
+            .add(rf.seconds, 4)
+            .add(rf.sim.peUtilization, 3);
+        t.row()
+            .add("edge-balanced")
+            .add(static_cast<std::uint64_t>(balanced.numBlocks()))
+            .add(static_cast<std::uint64_t>(stats(balanced)))
+            .add(rb.seconds, 4)
+            .add(rb.sim.peUtilization, 3);
+        std::cout << "\n-- ablation 5: block load balance\n";
+        t.print(std::cout);
+    }
+
+    std::fprintf(stderr,
+                 "info: shapes: U-curve over block size; epochs grow "
+                 "with queue depth while time falls then flattens; "
+                 "edge-balanced blocks cut the straggler tail.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace graphabcd
+
+int
+main(int argc, char **argv)
+{
+    return graphabcd::benchMain(argc, argv);
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Shared plumbing of the table/figure reproduction harnesses: dataset
+ * loading with the standard flags, per-algorithm run wrappers for
+ * GraphABCD (HARP simulator), GraphMat and the Graphicionado
+ * projection, and uniform convergence criteria.
+ *
+ * Convergence criteria (matching Sec. V "run until convergence"):
+ *  - PageRank: Eq. (3) residual below eps * ||x0|| (objective based);
+ *  - SSSP: active-list quiescence (no distance changes);
+ *  - CF: GraphMat runs to its own objective-discrepancy stop (RMSE
+ *    slope < 0.1%/superstep); GraphABCD runs until it reaches the RMSE
+ *    GraphMat stopped at (an equal-quality-or-better comparison).
+ */
+
+#ifndef GRAPHABCD_BENCH_COMMON_HH
+#define GRAPHABCD_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "algorithms/cf.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/sssp.hh"
+#include "baselines/graphmat/cpu_model.hh"
+#include "baselines/graphmat/engine.hh"
+#include "baselines/graphmat/programs.hh"
+#include "graph/datasets.hh"
+#include "graph/partition.hh"
+#include "harp/graphicionado.hh"
+#include "harp/system.hh"
+#include "support/flags.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+namespace graphabcd {
+namespace bench {
+
+/** Latent dimensionality used by every CF experiment. */
+constexpr std::uint32_t kCfDim = 16;
+
+/** CF hyper-parameters shared by GraphABCD and GraphMat runs. */
+constexpr double kCfLearningRate = 0.2;
+constexpr double kCfLambda = 0.02;
+
+/** Declare the flags every bench accepts. */
+inline void
+declareCommonFlags(Flags &flags)
+{
+    flags.declareDouble("scale", 1.0,
+                        "dataset scale (1 = paper size / divisor)");
+    flags.declareInt("seed", 42, "generator seed");
+    flags.declare("csv", "", "also write the table as CSV to this path");
+}
+
+/** Load a dataset stand-in and announce its realised size. */
+inline Dataset
+loadDataset(const std::string &key, const Flags &flags)
+{
+    Dataset ds = makeDataset(key, flags.getDouble("scale"),
+                             static_cast<std::uint64_t>(
+                                 flags.getInt("seed")));
+    std::fprintf(stderr,
+                 "info: %s (%s): %s vertices, %s edges "
+                 "(%.3g%% of paper size)\n",
+                 ds.info.key.c_str(), ds.info.paperName.c_str(),
+                 formatCount(ds.numVertices()).c_str(),
+                 formatCount(ds.numEdges()).c_str(), ds.scale * 100.0);
+    return ds;
+}
+
+/** Emit the table on stdout and optionally as CSV. */
+inline void
+emitTable(const Table &table, const Flags &flags)
+{
+    table.print(std::cout);
+    const std::string &csv = flags.get("csv");
+    if (!csv.empty()) {
+        table.writeCsv(csv);
+        std::fprintf(stderr, "info: wrote %s\n", csv.c_str());
+    }
+}
+
+/** Outcome of one framework/algorithm/graph combination. */
+struct RunResult
+{
+    double seconds = 0.0;
+    double mtes = 0.0;
+    double iterations = 0.0;   //!< epochs (GraphABCD) or supersteps
+    bool converged = false;
+    SimReport sim;             //!< filled for HARP runs only
+};
+
+/**
+ * @return the highest out-degree vertex — the SSSP/BFS source used by
+ * every bench.  Vertex 0 of an RMAT stand-in often sits in a tiny
+ * component; the hub reliably reaches the giant component, matching
+ * how the paper's evaluation sources behave on the real graphs.
+ */
+inline VertexId
+hubVertex(const BlockPartition &g)
+{
+    VertexId best = 0;
+    for (VertexId v = 1; v < g.numVertices(); v++) {
+        if (g.outDegree(v) > g.outDegree(best))
+            best = v;
+    }
+    return best;
+}
+
+/** hubVertex() for an un-partitioned edge list. */
+inline VertexId
+hubVertex(const EdgeList &el)
+{
+    auto deg = el.outDegrees();
+    return static_cast<VertexId>(
+        std::max_element(deg.begin(), deg.end()) - deg.begin());
+}
+
+/** PR quiescence tolerance: a small fraction of the uniform rank. */
+inline double
+prTolerance(VertexId n)
+{
+    return 0.01 / std::max<double>(n, 1.0);
+}
+
+// --------------------------------------------------------- GraphABCD
+
+/** PageRank on the simulated HARP system. */
+inline RunResult
+abcdPagerank(const BlockPartition &g, EngineOptions opt, HarpConfig cfg)
+{
+    opt.tolerance = prTolerance(g.numVertices());
+    HarpSystem<PageRankProgram> sys(g, PageRankProgram(0.85), opt, cfg);
+    std::vector<double> x;
+    RunResult out;
+    out.sim = sys.run(x);
+    out.seconds = out.sim.seconds;
+    out.mtes = out.sim.mtes;
+    out.iterations = out.sim.epochs;
+    out.converged = out.sim.converged;
+    return out;
+}
+
+/** SSSP from the hub vertex on the simulated HARP system. */
+inline RunResult
+abcdSssp(const BlockPartition &g, EngineOptions opt, HarpConfig cfg)
+{
+    opt.tolerance = 1e-9;
+    HarpSystem<SsspProgram> sys(g, SsspProgram(hubVertex(g)), opt, cfg);
+    std::vector<double> dist;
+    RunResult out;
+    out.sim = sys.run(dist);
+    out.seconds = out.sim.seconds;
+    out.mtes = out.sim.mtes;
+    out.iterations = out.sim.epochs;
+    out.converged = out.sim.converged;
+    return out;
+}
+
+/** CF on the simulated HARP system until `target_rmse` is reached. */
+inline RunResult
+abcdCf(const BlockPartition &g, EngineOptions opt, HarpConfig cfg,
+       double target_rmse, double max_epochs = 60.0)
+{
+    opt.tolerance = 1e-6;
+    opt.maxEpochs = max_epochs;
+    opt.traceInterval = 1.0;
+    HarpSystem<CfProgram<kCfDim>> sys(
+        g, CfProgram<kCfDim>(kCfLearningRate, kCfLambda), opt, cfg);
+    std::vector<FeatureVec<kCfDim>> x;
+    RunResult out;
+    out.sim = sys.run(
+        x, [&g, target_rmse](double,
+                             const std::vector<FeatureVec<kCfDim>> &v) {
+            return cfRmse<kCfDim>(g, v) <= target_rmse;
+        });
+    out.seconds = out.sim.seconds;
+    out.mtes = out.sim.mtes;
+    out.iterations = out.sim.epochs;
+    out.converged = out.sim.converged;
+    return out;
+}
+
+/**
+ * Run the four GraphABCD configurations the paper evaluates (priority
+ * and hybrid on/off) and return the fastest, like Table II does.
+ */
+template <typename RunFn>
+RunResult
+bestOfFourConfigs(EngineOptions base_opt, HarpConfig base_cfg,
+                  RunFn &&run_one)
+{
+    RunResult best;
+    bool first = true;
+    for (Schedule sched : {Schedule::Cyclic, Schedule::Priority}) {
+        for (bool hybrid : {false, true}) {
+            EngineOptions opt = base_opt;
+            opt.schedule = sched;
+            HarpConfig cfg = base_cfg;
+            cfg.hybrid = hybrid;
+            RunResult r = run_one(opt, cfg);
+            if (first || r.seconds < best.seconds) {
+                best = r;
+                first = false;
+            }
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------- GraphMat
+
+/** GraphMat PageRank: functional run + CPU cost model. */
+inline RunResult
+graphmatPagerank(const EdgeList &el, graphmat::GraphMatReport *raw = nullptr)
+{
+    auto degs = el.outDegrees();
+    graphmat::GraphMatEngine<graphmat::PageRankSpmv> engine(
+        el, graphmat::PageRankSpmv(0.85, degs));
+    std::vector<graphmat::PageRankSpmv::Value> x;
+    auto report = engine.run(x, prTolerance(el.numVertices()));
+    CpuTimeReport t = graphmatTime(report, el.numVertices(), 8);
+    if (raw)
+        *raw = report;
+    return RunResult{t.seconds, t.mtes,
+                     static_cast<double>(report.iterations),
+                     report.converged, {}};
+}
+
+/** GraphMat SSSP: functional run + CPU cost model. */
+inline RunResult
+graphmatSssp(const EdgeList &el, graphmat::GraphMatReport *raw = nullptr)
+{
+    graphmat::GraphMatEngine<graphmat::SsspSpmv> engine(
+        el, graphmat::SsspSpmv(hubVertex(el)));
+    std::vector<double> dist;
+    auto report = engine.run(dist, 1e-9);
+    CpuTimeReport t = graphmatTime(report, el.numVertices(), 8);
+    if (raw)
+        *raw = report;
+    return RunResult{t.seconds, t.mtes,
+                     static_cast<double>(report.iterations),
+                     report.converged, {}};
+}
+
+/**
+ * GraphMat CF run to *its own* convergence: the paper's
+ * objective-discrepancy criterion (Sec. II-B) — stop when the RMSE
+ * improvement per superstep falls below 0.1% (after a short warmup;
+ * CF has a flat start).  Like the paper's Fig. 5, GraphMat stops at a
+ * worse RMSE than GraphABCD reaches, because Jacobi's descent flattens
+ * earlier.
+ * @param[out] final_rmse the RMSE it stops at — the GraphABCD target.
+ */
+inline RunResult
+graphmatCf(const EdgeList &sym, const EdgeList &ratings,
+           double *final_rmse,
+           graphmat::GraphMatReport *raw = nullptr,
+           std::uint32_t budget = 120)
+{
+    graphmat::GraphMatEngine<graphmat::CfSpmv<kCfDim>> engine(
+        sym, graphmat::CfSpmv<kCfDim>(kCfLearningRate, kCfLambda));
+    std::vector<std::array<float, kCfDim>> x;
+    double prev = 1e30;
+    double last = 0.0;
+    auto report = engine.run(
+        x, 1e-6, budget,
+        [&](std::uint32_t iter, const auto &values) {
+            double rmse = graphmat::cfSpmvRmse<kCfDim>(ratings, values);
+            bool stop = iter > 10 && (prev - rmse) < 1e-3 * rmse;
+            prev = rmse;
+            last = rmse;
+            return stop;
+        });
+    // GraphMat materialises per-edge messages; for CF those are the
+    // double-precision gradient vectors (8H + 4 bytes), which is what
+    // makes its measured CF throughput a fraction of its PR throughput
+    // (paper Table II: 397 vs 1034 MTES on the same host).
+    CpuTimeReport t =
+        graphmatTime(report, sym.numVertices(), 8 * kCfDim + 4);
+    if (final_rmse)
+        *final_rmse = last;
+    if (raw)
+        *raw = report;
+    return RunResult{t.seconds, t.mtes,
+                     static_cast<double>(report.iterations),
+                     report.converged, {}};
+}
+
+} // namespace bench
+} // namespace graphabcd
+
+#endif // GRAPHABCD_BENCH_COMMON_HH

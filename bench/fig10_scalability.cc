@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: scalability of GraphABCD on the LJ
+ * stand-in, with and without Hybrid Execution — (a) execution time as
+ * FPGA PE count grows 1..16 with 14 CPU threads; (b) execution time as
+ * CPU threads grow 1..14 with 16 PEs.
+ *
+ * Expected shape: near-linear scaling until ~8 PEs, then
+ * bandwidth-bound; with hybrid execution the curve is much flatter at
+ * low PE counts (CPU workers absorb the loss); thread scaling matters
+ * less than PE scaling without hybrid.
+ */
+
+#include "bench_common.hh"
+
+namespace graphabcd {
+namespace {
+
+using namespace bench;
+
+int
+benchMain(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.declareInt("block-size", 512, "block size");
+    flags.declare("graph", "LJ", "dataset key");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const auto block_size =
+        static_cast<VertexId>(flags.getInt("block-size"));
+    Dataset ds = loadDataset(flags.get("graph"), flags);
+    BlockPartition g(ds.graph, block_size);
+
+    auto time_of = [&](std::uint32_t pes, std::uint32_t threads,
+                       bool hybrid) {
+        EngineOptions opt;
+        opt.blockSize = block_size;
+        HarpConfig cfg;
+        cfg.numPes = pes;
+        cfg.cpuThreads = threads;
+        cfg.hybrid = hybrid;
+        return abcdPagerank(g, opt, cfg).seconds;
+    };
+
+    Table pe_table({"PEs (14 threads)", "time w/o hybrid (s)",
+                    "time w/ hybrid (s)", "hybrid gain"});
+    for (std::uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
+        double plain = time_of(pes, 14, false);
+        double hybrid = time_of(pes, 14, true);
+        pe_table.row()
+            .add(static_cast<std::uint64_t>(pes))
+            .add(plain, 4)
+            .add(hybrid, 4)
+            .add(plain / hybrid, 3);
+    }
+    pe_table.print(std::cout);
+    std::cout << '\n';
+
+    Table thread_table({"threads (16 PEs)", "time w/o hybrid (s)",
+                        "time w/ hybrid (s)", "hybrid gain"});
+    for (std::uint32_t threads : {1u, 2u, 4u, 8u, 14u}) {
+        double plain = time_of(16, threads, false);
+        double hybrid = time_of(16, threads, true);
+        thread_table.row()
+            .add(static_cast<std::uint64_t>(threads))
+            .add(plain, 4)
+            .add(hybrid, 4)
+            .add(plain / hybrid, 3);
+    }
+    emitTable(thread_table, flags);
+    std::fprintf(stderr,
+                 "info: paper shape: linear until ~8 PEs, hybrid "
+                 "flattens the PE curve; threads matter less.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace graphabcd
+
+int
+main(int argc, char **argv)
+{
+    return graphabcd::benchMain(argc, argv);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: RMSE of Collaborative Filtering versus
+ * iteration for GraphABCD (priority and cyclic) and GraphMat on the
+ * Netflix stand-in.
+ *
+ * Expected shape: GraphABCD reaches a better RMSE in ~20 iterations
+ * than GraphMat reaches in 60 — the block-size-|V| (Jacobi) penalty.
+ */
+
+#include "bench_common.hh"
+
+#include "core/engine.hh"
+
+namespace graphabcd {
+namespace {
+
+using namespace bench;
+
+int
+benchMain(int argc, char **argv)
+{
+    Flags flags;
+    declareCommonFlags(flags);
+    flags.declare("graph", "NF", "rating dataset key (SAC, MOL, NF)");
+    flags.declareInt("iterations", 60, "iteration horizon");
+    flags.declareInt("block-size", 512, "GraphABCD block size");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    Dataset ds = loadDataset(flags.get("graph"), flags);
+    EdgeList sym = ds.graph.symmetrized();
+    const auto budget =
+        static_cast<std::uint32_t>(flags.getInt("iterations"));
+    const auto block_size =
+        static_cast<VertexId>(flags.getInt("block-size"));
+
+    // GraphMat: RMSE after every BSP superstep.
+    std::vector<std::pair<double, double>> gm_curve;
+    {
+        graphmat::GraphMatEngine<graphmat::CfSpmv<kCfDim>> engine(
+            sym,
+            graphmat::CfSpmv<kCfDim>(kCfLearningRate, kCfLambda));
+        std::vector<std::array<float, kCfDim>> x;
+        engine.run(x, 1e-6, budget,
+                   [&](std::uint32_t iter, const auto &values) {
+                       gm_curve.emplace_back(
+                           iter, graphmat::cfSpmvRmse<kCfDim>(ds.graph,
+                                                              values));
+                       return false;
+                   });
+    }
+
+    // GraphABCD: RMSE per traced epoch, cyclic and priority.
+    auto abcd_curve = [&](Schedule sched) {
+        BlockPartition g(sym, block_size);
+        EngineOptions opt;
+        opt.blockSize = block_size;
+        opt.schedule = sched;
+        opt.tolerance = 1e-6;
+        opt.maxEpochs = budget;
+        opt.traceInterval = 1.0;
+        SerialEngine<CfProgram<kCfDim>> engine(
+            g, CfProgram<kCfDim>(kCfLearningRate, kCfLambda), opt);
+        std::vector<std::pair<double, double>> curve;
+        std::vector<FeatureVec<kCfDim>> x;
+        engine.run(x, [&](double epochs,
+                          const std::vector<FeatureVec<kCfDim>> &v) {
+            curve.emplace_back(epochs, cfRmse<kCfDim>(g, v));
+        });
+        return curve;
+    };
+    auto cyc = abcd_curve(Schedule::Cyclic);
+    auto pri = abcd_curve(Schedule::Priority);
+
+    Table table({"iteration", "GraphABCD priority RMSE",
+                 "GraphABCD cyclic RMSE", "GraphMat RMSE"});
+    const std::size_t rows =
+        std::max({gm_curve.size(), cyc.size(), pri.size()});
+    for (std::size_t i = 0; i < rows; i++) {
+        auto cell = [&](const std::vector<std::pair<double, double>> &c)
+            -> std::string {
+            if (i < c.size()) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.4f", c[i].second);
+                return buf;
+            }
+            return "-";
+        };
+        table.row()
+            .add(static_cast<std::uint64_t>(i + 1))
+            .add(cell(pri))
+            .add(cell(cyc))
+            .add(cell(gm_curve));
+    }
+    emitTable(table, flags);
+
+    auto at = [](const std::vector<std::pair<double, double>> &c,
+                 std::size_t i) {
+        return i < c.size() ? c[i].second : c.back().second;
+    };
+    std::fprintf(stderr,
+                 "info: paper Fig. 5 anchor: GraphABCD RMSE=1.04 @ 20 "
+                 "iters vs GraphMat RMSE=1.34 @ 60 iters.\n");
+    std::fprintf(stderr,
+                 "info: ours: GraphABCD(priority) %.4f @ 20 vs GraphMat "
+                 "%.4f @ %u.\n",
+                 at(pri, 19), at(gm_curve, gm_curve.size() - 1),
+                 budget);
+    return 0;
+}
+
+} // namespace
+} // namespace graphabcd
+
+int
+main(int argc, char **argv)
+{
+    return graphabcd::benchMain(argc, argv);
+}

@@ -1,0 +1,65 @@
+#include "algorithms/extras.hh"
+
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace graphabcd {
+
+std::uint64_t
+coloringConflicts(const BlockPartition &g,
+                  const std::vector<double> &colors)
+{
+    std::uint64_t conflicts = 0;
+    for (EdgeId e = 0; e < g.numEdges(); e++) {
+        VertexId u = g.edgeSrc(e);
+        VertexId v = g.edgeDst(e);
+        if (u != v && ColoringProgram::colorOf(colors[u]) ==
+                          ColoringProgram::colorOf(colors[v]))
+            conflicts++;
+    }
+    return conflicts;
+}
+
+std::uint64_t
+kcoreSize(const std::vector<double> &alive)
+{
+    std::uint64_t count = 0;
+    for (double a : alive)
+        count += a > 0.5;
+    return count;
+}
+
+std::vector<double>
+kcoreReference(const EdgeList &sym, std::uint32_t k)
+{
+    const VertexId n = sym.numVertices();
+    Csr adj(sym, Csr::Axis::BySource);
+    std::vector<std::uint32_t> degree(n);
+    std::vector<char> alive(n, 1);
+    std::vector<VertexId> queue;
+
+    for (VertexId v = 0; v < n; v++) {
+        degree[v] = adj.degree(v);
+        if (degree[v] < k) {
+            alive[v] = 0;
+            queue.push_back(v);
+        }
+    }
+    while (!queue.empty()) {
+        VertexId v = queue.back();
+        queue.pop_back();
+        for (VertexId u : adj.neighbors(v)) {
+            if (alive[u] && --degree[u] < k) {
+                alive[u] = 0;
+                queue.push_back(u);
+            }
+        }
+    }
+    std::vector<double> out(n);
+    for (VertexId v = 0; v < n; v++)
+        out[v] = alive[v] ? 1.0 : 0.0;
+    return out;
+}
+
+} // namespace graphabcd

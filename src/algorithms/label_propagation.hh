@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Label Propagation for community detection, one of the GAS-paradigm
+ * algorithms the paper lists (Sec. II-A), as a BCD vertex program.
+ *
+ * Every vertex adopts the most frequent label among its in-neighbors
+ * (ties broken toward the smaller label, which also makes the update
+ * deterministic).  The GATHER accumulator is a small label-count map;
+ * merging maps is associative and commutative, so the tagged dataflow
+ * reduction unit handles it like any other combine.  Run on a
+ * symmetrized graph.
+ */
+
+#ifndef GRAPHABCD_ALGORITHMS_LABEL_PROPAGATION_HH
+#define GRAPHABCD_ALGORITHMS_LABEL_PROPAGATION_HH
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "core/vertex_program.hh"
+#include "graph/partition.hh"
+
+namespace graphabcd {
+
+/** Label propagation (synchronous-update flavour). */
+struct LabelPropagationProgram
+{
+    using Value = double;   //!< current community label (a vertex id)
+
+    /** Sparse label histogram; merged by addition. */
+    struct Accum
+    {
+        std::map<std::uint32_t, std::uint32_t> counts;
+    };
+
+    Value init(VertexId v, const BlockPartition &) const { return v; }
+
+    Accum identity() const { return {}; }
+
+    Accum
+    edgeTerm(const Value &, const Value &edge_value, float) const
+    {
+        Accum a;
+        a.counts[static_cast<std::uint32_t>(edge_value)] = 1;
+        return a;
+    }
+
+    Accum
+    combine(Accum a, const Accum &b) const
+    {
+        for (const auto &[label, count] : b.counts)
+            a.counts[label] += count;
+        return a;
+    }
+
+    Value
+    apply(VertexId, const Accum &acc, const Value &old,
+          const BlockPartition &) const
+    {
+        if (acc.counts.empty())
+            return old;
+        std::uint32_t best_label = 0;
+        std::uint32_t best_count = 0;
+        // std::map iterates in ascending label order, so "first max"
+        // is the smallest label among the most frequent — the
+        // deterministic tie-break.
+        for (const auto &[label, count] : acc.counts) {
+            if (count > best_count) {
+                best_label = label;
+                best_count = count;
+            }
+        }
+        // Keep the old label when it is tied for the maximum; without
+        // this hysteresis two-vertex cycles oscillate forever.
+        auto it = acc.counts.find(static_cast<std::uint32_t>(old));
+        if (it != acc.counts.end() && it->second >= best_count)
+            return old;
+        return best_label;
+    }
+
+    Value
+    edgeValue(VertexId, const Value &value, const BlockPartition &) const
+    {
+        return value;
+    }
+
+    double delta(const Value &a, const Value &b) const
+    {
+        return std::abs(a - b);
+    }
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_ALGORITHMS_LABEL_PROPAGATION_HH

@@ -1,0 +1,34 @@
+#include "algorithms/pagerank.hh"
+
+namespace graphabcd {
+
+double
+pagerankResidual(const BlockPartition &g, const std::vector<double> &x,
+                 double alpha)
+{
+    const double n = std::max<double>(g.numVertices(), 1.0);
+    double sq = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); v++) {
+        double acc = 0.0;
+        for (EdgeId e = g.inEdgeBegin(v); e < g.inEdgeEnd(v); e++) {
+            VertexId u = g.edgeSrc(e);
+            const std::uint32_t d = g.outDegree(u);
+            if (d)
+                acc += x[u] / d;
+        }
+        double r = (1.0 - alpha) / n + alpha * acc - x[v];
+        sq += r * r;
+    }
+    return std::sqrt(sq);
+}
+
+double
+pagerankMass(const std::vector<double> &x)
+{
+    double sum = 0.0;
+    for (double v : x)
+        sum += v;
+    return sum;
+}
+
+} // namespace graphabcd

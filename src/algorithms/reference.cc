@@ -1,0 +1,161 @@
+#include "algorithms/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/csr.hh"
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+std::vector<double>
+pagerankReference(const EdgeList &el, double alpha, double tol,
+                  std::uint32_t max_iters)
+{
+    const VertexId n = el.numVertices();
+    const Csr in(el, Csr::Axis::ByDestination);
+    const std::vector<std::uint32_t> outdeg = el.outDegrees();
+
+    std::vector<double> x(n, 1.0 / std::max<double>(n, 1.0));
+    std::vector<double> next(n);
+    const double base = (1.0 - alpha) / std::max<double>(n, 1.0);
+
+    for (std::uint32_t it = 0; it < max_iters; it++) {
+        double max_change = 0.0;
+        for (VertexId v = 0; v < n; v++) {
+            double acc = 0.0;
+            for (VertexId u : in.neighbors(v)) {
+                if (outdeg[u])
+                    acc += x[u] / outdeg[u];
+            }
+            next[v] = base + alpha * acc;
+            max_change = std::max(max_change, std::abs(next[v] - x[v]));
+        }
+        x.swap(next);
+        if (max_change < tol)
+            break;
+    }
+    return x;
+}
+
+std::vector<double>
+dijkstraReference(const EdgeList &el, VertexId source)
+{
+    constexpr double unreachable = 1e18;
+    const VertexId n = el.numVertices();
+    GRAPHABCD_ASSERT(source < n, "source outside the graph");
+    const Csr out(el, Csr::Axis::BySource);
+
+    std::vector<double> dist(n, unreachable);
+    dist[source] = 0.0;
+
+    using Item = std::pair<double, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        auto nbrs = out.neighbors(v);
+        auto wgts = out.weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); i++) {
+            double nd = d + static_cast<double>(wgts[i]);
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.emplace(nd, nbrs[i]);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+bfsReference(const EdgeList &el, VertexId source)
+{
+    constexpr double unreachable = 1e18;
+    const VertexId n = el.numVertices();
+    GRAPHABCD_ASSERT(source < n, "source outside the graph");
+    const Csr out(el, Csr::Axis::BySource);
+
+    std::vector<double> depth(n, unreachable);
+    depth[source] = 0.0;
+    std::queue<VertexId> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        VertexId v = frontier.front();
+        frontier.pop();
+        for (VertexId u : out.neighbors(v)) {
+            if (depth[u] >= unreachable) {
+                depth[u] = depth[v] + 1.0;
+                frontier.push(u);
+            }
+        }
+    }
+    return depth;
+}
+
+namespace {
+
+/** Union-find with path halving and union by size. */
+class DisjointSets
+{
+  public:
+    explicit DisjointSets(VertexId n) : parent(n), size(n, 1)
+    {
+        for (VertexId v = 0; v < n; v++)
+            parent[v] = v;
+    }
+
+    VertexId
+    find(VertexId v)
+    {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    }
+
+    void
+    unite(VertexId a, VertexId b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (size[a] < size[b])
+            std::swap(a, b);
+        parent[b] = a;
+        size[a] += size[b];
+    }
+
+  private:
+    std::vector<VertexId> parent;
+    std::vector<VertexId> size;
+};
+
+} // namespace
+
+std::vector<double>
+ccReference(const EdgeList &el)
+{
+    const VertexId n = el.numVertices();
+    DisjointSets ds(n);
+    for (const Edge &e : el.edges())
+        ds.unite(e.src, e.dst);
+
+    // Map each root to the minimum vertex id of its component.
+    std::vector<VertexId> min_label(n, invalidVertex);
+    for (VertexId v = 0; v < n; v++) {
+        VertexId r = ds.find(v);
+        min_label[r] = std::min(min_label[r], v);
+    }
+    std::vector<double> labels(n);
+    for (VertexId v = 0; v < n; v++)
+        labels[v] = min_label[ds.find(v)];
+    return labels;
+}
+
+} // namespace graphabcd

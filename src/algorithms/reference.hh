@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Exact reference implementations used to validate the BCD engines and
+ * the baselines: textbook power iteration, Dijkstra, BFS and union-find.
+ */
+
+#ifndef GRAPHABCD_ALGORITHMS_REFERENCE_HH
+#define GRAPHABCD_ALGORITHMS_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hh"
+#include "graph/types.hh"
+
+namespace graphabcd {
+
+/**
+ * Jacobi power iteration for PageRank with the same dangling-mass
+ * convention as PageRankProgram (dangling rank leaks).
+ * @param tol iterate until max per-vertex change < tol.
+ * @return converged rank vector.
+ */
+std::vector<double> pagerankReference(const EdgeList &el, double alpha,
+                                      double tol = 1e-12,
+                                      std::uint32_t max_iters = 10000);
+
+/**
+ * Dijkstra from `source` using a binary heap.
+ * @return distances; SsspProgram::unreachable-compatible 1e18 when
+ *         unreachable.
+ */
+std::vector<double> dijkstraReference(const EdgeList &el, VertexId source);
+
+/** Level-synchronous BFS depth; 1e18 when unreachable. */
+std::vector<double> bfsReference(const EdgeList &el, VertexId source);
+
+/**
+ * Connected components on the *undirected* view of `el` via union-find;
+ * every vertex is labelled with the smallest vertex id in its component
+ * (matching CcProgram's fixed point).
+ */
+std::vector<double> ccReference(const EdgeList &el);
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_ALGORITHMS_REFERENCE_HH

@@ -1,0 +1,73 @@
+#include "baselines/graphmat/cpu_model.hh"
+
+#include <algorithm>
+
+namespace graphabcd {
+
+CpuTimeReport
+graphmatTime(const graphmat::GraphMatReport &report,
+             VertexId num_vertices, std::uint32_t value_bytes,
+             const CpuModelConfig &cfg)
+{
+    const double bw = cfg.effectiveBandwidth();
+    // SpMV edge streams (sequential) + per-superstep vertex sweeps
+    // (sequential) + the random write of each applied destination.
+    // Sparse-frontier (filtered) supersteps pay the locality penalty.
+    const double edge_cost = cfg.edgeBytes(value_bytes) *
+                             (report.filtered ? cfg.sparseEdgePenalty
+                                              : 1.0);
+    const double edge_bytes =
+        static_cast<double>(report.edgesProcessed) * edge_cost;
+    const double vertex_bytes =
+        static_cast<double>(report.iterations) * num_vertices *
+        cfg.vertexBytes(value_bytes);
+    const double random_bytes =
+        static_cast<double>(report.vertexUpdates) * value_bytes *
+        cfg.randomPenalty;
+
+    CpuTimeReport out;
+    out.seconds = (edge_bytes + vertex_bytes + random_bytes) / bw +
+                  report.iterations * cfg.barrierSeconds;
+    if (out.seconds > 0.0) {
+        out.mtes = static_cast<double>(report.edgesProcessed) /
+                   out.seconds / 1e6;
+    }
+    return out;
+}
+
+CpuTimeReport
+softwareAbcdTime(const EngineReport &report, VertexId num_vertices,
+                 std::uint32_t value_bytes, const CpuModelConfig &cfg)
+{
+    (void)num_vertices;
+    const double bw = cfg.effectiveBandwidth();
+    // Fused kernel: sequential in-edge slice streams, then random
+    // out-edge value writes (the pull-push SCATTER).
+    const double edge_bytes =
+        static_cast<double>(report.edgeTraversals) *
+        cfg.edgeBytes(value_bytes);
+    const double scatter_bytes =
+        static_cast<double>(report.scatterWrites) * value_bytes *
+        cfg.randomPenalty;
+    // Inter-thread coordination per block hand-off (queue + activation).
+    const double coordination =
+        static_cast<double>(report.blockUpdates) * 2e-7;
+    // The fused gather-apply-scatter kernel is reduction-bound well
+    // below DRAM bandwidth (scalar dependent chains over irregular
+    // segments) — the slower of the two bounds governs.
+    const double compute_seconds =
+        static_cast<double>(report.edgeTraversals) /
+        (cfg.kernelEdgesPerSecPerThread * cfg.threads);
+
+    CpuTimeReport out;
+    out.seconds = std::max((edge_bytes + scatter_bytes) / bw,
+                           compute_seconds) +
+                  coordination;
+    if (out.seconds > 0.0) {
+        out.mtes = static_cast<double>(report.edgeTraversals) /
+                   out.seconds / 1e6;
+    }
+    return out;
+}
+
+} // namespace graphabcd

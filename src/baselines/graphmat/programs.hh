@@ -1,0 +1,286 @@
+/**
+ * @file
+ * GraphMat program adapters for the paper's three evaluation algorithms
+ * (PR, SSSP, CF) plus BFS and CC, mirroring GraphMat's shipped demos.
+ */
+
+#ifndef GRAPHABCD_BASELINES_GRAPHMAT_PROGRAMS_HH
+#define GRAPHABCD_BASELINES_GRAPHMAT_PROGRAMS_HH
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "baselines/graphmat/engine.hh"
+#include "support/random.hh"
+
+namespace graphabcd {
+namespace graphmat {
+
+/** PageRank: state carries (rank, out-degree) so messages are rank/deg. */
+struct PageRankSpmv
+{
+    struct Value
+    {
+        double rank = 0.0;
+        std::uint32_t outDegree = 0;
+    };
+    using Message = double;
+
+    double alpha = 0.85;
+    const std::vector<std::uint32_t> *degrees = nullptr;
+    std::uint32_t n = 1;
+
+    PageRankSpmv(double damping, const std::vector<std::uint32_t> &degs)
+        : alpha(damping), degrees(&degs),
+          n(static_cast<std::uint32_t>(degs.size()))
+    {}
+
+    Value
+    init(VertexId v, std::uint32_t num_vertices) const
+    {
+        return Value{1.0 / std::max<double>(num_vertices, 1.0),
+                     (*degrees)[v]};
+    }
+
+    Message identity() const { return 0.0; }
+
+    Message
+    processEdge(const Value &, const Value &src, float) const
+    {
+        return src.outDegree ? src.rank / src.outDegree : 0.0;
+    }
+
+    Message reduce(Message a, Message b) const { return a + b; }
+
+    Value
+    apply(VertexId, const Message &acc, const Value &old) const
+    {
+        return Value{(1.0 - alpha) / std::max<double>(n, 1.0) +
+                         alpha * acc,
+                     old.outDegree};
+    }
+
+    double
+    delta(const Value &a, const Value &b) const
+    {
+        return std::abs(a.rank - b.rank);
+    }
+
+    /** PR recomputes from all in-edges: full BSP sweeps. */
+    bool usesFiltering() const { return false; }
+};
+
+/** SSSP with GraphMat's active-vertex filtering (relaxed frontier). */
+struct SsspSpmv
+{
+    using Value = double;
+    using Message = double;
+
+    VertexId source = 0;
+    static constexpr double unreachable = 1e18;
+
+    explicit SsspSpmv(VertexId src) : source(src) {}
+
+    Value
+    init(VertexId v, std::uint32_t) const
+    {
+        return v == source ? 0.0 : unreachable;
+    }
+
+    Message identity() const { return unreachable; }
+
+    Message
+    processEdge(const Value &, const Value &src, float w) const
+    {
+        return src >= unreachable ? unreachable
+                                  : src + static_cast<double>(w);
+    }
+
+    Message reduce(Message a, Message b) const { return std::min(a, b); }
+
+    Value
+    apply(VertexId, const Message &acc, const Value &old) const
+    {
+        return std::min(old, acc);
+    }
+
+    double delta(const Value &a, const Value &b) const
+    {
+        return std::abs(a - b);
+    }
+
+    /** Monotone min-fold: GraphMat's SSSP active-vertex filtering. */
+    bool usesFiltering() const { return true; }
+};
+
+/** BFS = unit-weight SSSP. */
+struct BfsSpmv : SsspSpmv
+{
+    explicit BfsSpmv(VertexId src) : SsspSpmv(src) {}
+
+    Message
+    processEdge(const Value &, const Value &src, float) const
+    {
+        return src >= unreachable ? unreachable : src + 1.0;
+    }
+};
+
+/** Connected components by min-label propagation (symmetrized input). */
+struct CcSpmv
+{
+    using Value = double;
+    using Message = double;
+
+    Value init(VertexId v, std::uint32_t) const { return v; }
+
+    Message
+    identity() const
+    {
+        return std::numeric_limits<double>::infinity();
+    }
+
+    Message
+    processEdge(const Value &, const Value &src, float) const
+    {
+        return src;
+    }
+
+    Message reduce(Message a, Message b) const { return std::min(a, b); }
+
+    Value
+    apply(VertexId, const Message &acc, const Value &old) const
+    {
+        return std::min(old, acc);
+    }
+
+    double delta(const Value &a, const Value &b) const
+    {
+        return std::abs(a - b);
+    }
+
+    /** Monotone min-fold: filtering is sound. */
+    bool usesFiltering() const { return true; }
+};
+
+/**
+ * Collaborative Filtering: full-batch gradient descent — GraphMat's CF
+ * demo.  PROCESS_MESSAGE sees the destination property (GraphMat's API),
+ * so the per-edge error term err*x_src - lambda*x_dst is computed
+ * exactly as in CfProgram; the two runs differ only in the BCD design
+ * options (block size |V|, Jacobi commits), which is precisely the
+ * paper's Fig. 5 comparison.
+ */
+template <std::uint32_t H = 16>
+struct CfSpmv
+{
+    using Value = std::array<float, H>;
+
+    struct Message
+    {
+        std::array<double, H> grad{};
+        std::uint32_t count = 0;
+    };
+
+    double alpha = 0.2;
+    double lambda = 0.02;
+    std::uint64_t seed = 7;
+
+    CfSpmv() = default;
+    CfSpmv(double lr, double reg, std::uint64_t s = 7)
+        : alpha(lr), lambda(reg), seed(s)
+    {}
+
+    Value
+    init(VertexId v, std::uint32_t) const
+    {
+        SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (v + 1)));
+        Value out;
+        const float scale = 1.0f / std::sqrt(static_cast<float>(H));
+        for (std::uint32_t k = 0; k < H; k++) {
+            auto bits = sm.next();
+            float u = static_cast<float>(bits >> 11) * 0x1.0p-53f - 0.5f;
+            out[k] = u * scale;
+        }
+        return out;
+    }
+
+    Message identity() const { return {}; }
+
+    Message
+    processEdge(const Value &dst, const Value &src, float rating) const
+    {
+        double dot = 0.0;
+        for (std::uint32_t k = 0; k < H; k++)
+            dot += static_cast<double>(dst[k]) * src[k];
+        const double err = static_cast<double>(rating) - dot;
+        Message m;
+        m.count = 1;
+        for (std::uint32_t k = 0; k < H; k++) {
+            m.grad[k] = err * src[k] -
+                        lambda * static_cast<double>(dst[k]);
+        }
+        return m;
+    }
+
+    Message
+    reduce(Message a, const Message &b) const
+    {
+        for (std::uint32_t k = 0; k < H; k++)
+            a.grad[k] += b.grad[k];
+        a.count += b.count;
+        return a;
+    }
+
+    Value
+    apply(VertexId, const Message &acc, const Value &old) const
+    {
+        const double norm = 1.0 / std::max<double>(acc.count, 1.0);
+        Value next;
+        for (std::uint32_t k = 0; k < H; k++) {
+            next[k] = static_cast<float>(
+                static_cast<double>(old[k]) + alpha * norm * acc.grad[k]);
+        }
+        return next;
+    }
+
+    double
+    delta(const Value &a, const Value &b) const
+    {
+        double l1 = 0.0;
+        for (std::uint32_t k = 0; k < H; k++)
+            l1 += std::abs(static_cast<double>(a[k]) -
+                           static_cast<double>(b[k]));
+        return l1;
+    }
+
+    /** Full-batch GD recomputes from all ratings: no filtering. */
+    bool usesFiltering() const { return false; }
+};
+
+/**
+ * RMSE over the user->item rating edges under GraphMat values (same
+ * metric as cfRmse for the BCD engines).
+ */
+template <std::uint32_t H>
+double
+cfSpmvRmse(const EdgeList &ratings, const std::vector<std::array<float, H>> &x)
+{
+    double sq = 0.0;
+    for (const Edge &e : ratings.edges()) {
+        double dot = 0.0;
+        for (std::uint32_t k = 0; k < H; k++)
+            dot += static_cast<double>(x[e.src][k]) * x[e.dst][k];
+        const double err = static_cast<double>(e.weight) - dot;
+        sq += err * err;
+    }
+    return ratings.numEdges()
+        ? std::sqrt(sq / static_cast<double>(ratings.numEdges()))
+        : 0.0;
+}
+
+} // namespace graphmat
+} // namespace graphabcd
+
+#endif // GRAPHABCD_BASELINES_GRAPHMAT_PROGRAMS_HH

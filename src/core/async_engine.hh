@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Threaded asynchronous BCD engine — real barrierless execution on host
+ * threads (the "software GraphABCD" of paper Sec. V-D, with the GATHER-
+ * APPLY / SCATTER kernel fusion the paper applies to its software
+ * baseline).
+ *
+ * Vertex and edge-carried values are relaxed atomics: GATHER reads
+ * whatever SCATTER has most recently published (possibly stale — that is
+ * asynchronous BCD), and SCATTER publishes whole values (state-based
+ * update information, Sec. IV-A3), so no locks or barriers are needed on
+ * the data plane.  The only shared control state is the scheduler, which
+ * matches the paper's design where scheduling is a CPU-side software
+ * unit.  The work queue is bounded, which bounds the update-propagation
+ * delay and hence preserves the asynchronous-BCD convergence guarantee.
+ *
+ * ExecMode::Barrier inserts a wait-for-wave after every dispatched block
+ * group; ExecMode::Bsp processes whole supersteps against a frozen
+ * snapshot (Jacobi), reproducing the paper's Fig. 7 baselines.
+ */
+
+#ifndef GRAPHABCD_CORE_ASYNC_ENGINE_HH
+#define GRAPHABCD_CORE_ASYNC_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/options.hh"
+#include "core/scheduler.hh"
+#include "core/vertex_program.hh"
+#include "graph/partition.hh"
+#include "runtime/task_queue.hh"
+#include "support/timer.hh"
+
+namespace graphabcd {
+
+/**
+ * Multi-threaded BCD engine.  Requires a lock-free-atomic Value (the
+ * scalar algorithms: PR, SSSP, BFS, CC).  Vector-valued programs (CF)
+ * run through the serial engine or the HARP simulator instead.
+ */
+template <VertexProgram Program>
+class AsyncEngine
+{
+  public:
+    using Value = typename Program::Value;
+
+    static_assert(std::atomic<Value>::is_always_lock_free,
+                  "AsyncEngine needs a lock-free atomic Value; "
+                  "use SerialEngine or HarpSystem for wide values");
+
+    AsyncEngine(const BlockPartition &g, Program p, EngineOptions opt)
+        : graph(g), program(std::move(p)), options(opt)
+    {
+    }
+
+    /**
+     * Run to quiescence (or maxEpochs).
+     * @param out_values receives the final vertex values.
+     */
+    EngineReport
+    run(std::vector<Value> &out_values)
+    {
+        Timer timer;
+        initState();
+
+        EngineReport report;
+        switch (options.mode) {
+          case ExecMode::Async:
+            report = runAsync(/*barrier_per_wave=*/false);
+            break;
+          case ExecMode::Barrier:
+            report = runAsync(/*barrier_per_wave=*/true);
+            break;
+          case ExecMode::Bsp:
+            report = runBsp();
+            break;
+        }
+
+        out_values.resize(graph.numVertices());
+        for (VertexId v = 0; v < graph.numVertices(); v++)
+            out_values[v] = values[v].load(std::memory_order_relaxed);
+        report.seconds = timer.seconds();
+        return report;
+    }
+
+  private:
+    void
+    initState()
+    {
+        const VertexId n = graph.numVertices();
+        values = std::vector<std::atomic<Value>>(n);
+        edgeValues = std::vector<std::atomic<Value>>(graph.numEdges());
+        for (VertexId v = 0; v < n; v++) {
+            Value init = program.init(v, graph);
+            values[v].store(init, std::memory_order_relaxed);
+            Value ev = program.edgeValue(v, init, graph);
+            for (EdgeId pos : graph.scatterPositions(v))
+                edgeValues[pos].store(ev, std::memory_order_relaxed);
+        }
+    }
+
+    /**
+     * Fused GATHER-APPLY-SCATTER of one block directly against the
+     * atomic arrays.  @return (vertices changed, L1 delta).
+     */
+    std::pair<VertexId, double>
+    processAndCommit(BlockId b,
+                     std::vector<std::pair<BlockId, double>> &activations)
+    {
+        VertexId changed = 0;
+        double l1 = 0.0;
+        activations.clear();
+        for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
+             v++) {
+            auto acc = program.identity();
+            Value old = values[v].load(std::memory_order_relaxed);
+            for (EdgeId e = graph.inEdgeBegin(v); e < graph.inEdgeEnd(v);
+                 e++) {
+                Value ev = edgeValues[e].load(std::memory_order_relaxed);
+                acc = program.combine(
+                    acc, program.edgeTerm(old, ev, graph.edgeWeight(e)));
+            }
+            Value next = program.apply(v, acc, old, graph);
+            double d = program.delta(old, next);
+            l1 += d;
+            values[v].store(next, std::memory_order_relaxed);
+            if (d > options.tolerance) {
+                changed++;
+                auto positions = graph.scatterPositions(v);
+                if (positions.empty())
+                    continue;
+                Value ev = program.edgeValue(v, next, graph);
+                const double edge_delta = program.delta(
+                    positions.empty()
+                        ? ev
+                        : edgeValues[positions.front()].load(
+                              std::memory_order_relaxed),
+                    ev);
+                for (EdgeId pos : positions) {
+                    edgeValues[pos].store(ev, std::memory_order_relaxed);
+                    activations.emplace_back(
+                        graph.blockOf(graph.edgeDst(pos)), edge_delta);
+                }
+            }
+        }
+        return {changed, l1};
+    }
+
+    EngineReport
+    runAsync(bool barrier_per_wave)
+    {
+        EngineReport report;
+        const double n = std::max<double>(graph.numVertices(), 1.0);
+        auto sched = makeScheduler(options.schedule, graph.numBlocks(),
+                                   options.seed);
+        for (BlockId b = 0; b < graph.numBlocks(); b++)
+            sched->activate(b, initialActivationPriority());
+
+        // Bounded queue: bounds staleness (paper Sec. III-D).
+        TaskQueue<BlockId> work(options.numThreads * 4);
+        std::mutex ctl;
+        std::condition_variable ctlCv;
+        std::size_t inflight = 0;
+        std::atomic<std::uint64_t> vertex_updates{0};
+        std::atomic<std::uint64_t> block_updates{0};
+        std::atomic<std::uint64_t> edge_traversals{0};
+        std::atomic<std::uint64_t> scatter_writes{0};
+
+        auto worker = [&] {
+            std::vector<std::pair<BlockId, double>> activations;
+            while (auto b = work.pop()) {
+                auto [chg, l1] = processAndCommit(*b, activations);
+                (void)chg;
+                (void)l1;
+                vertex_updates.fetch_add(graph.blockVertexCount(*b),
+                                         std::memory_order_relaxed);
+                block_updates.fetch_add(1, std::memory_order_relaxed);
+                edge_traversals.fetch_add(graph.blockEdgeCount(*b),
+                                          std::memory_order_relaxed);
+                scatter_writes.fetch_add(activations.size(),
+                                         std::memory_order_relaxed);
+                {
+                    std::lock_guard<std::mutex> lock(ctl);
+                    for (auto &[dst, delta] : activations)
+                        sched->activate(dst, delta);
+                    inflight--;
+                }
+                ctlCv.notify_all();
+            }
+        };
+
+        std::vector<std::thread> threads;
+        const std::uint32_t nthreads = std::max(1u, options.numThreads);
+        threads.reserve(nthreads);
+        for (std::uint32_t t = 0; t < nthreads; t++)
+            threads.emplace_back(worker);
+
+        // Dispatcher (the paper's software Scheduler unit).
+        const auto max_updates = static_cast<std::uint64_t>(
+            options.maxEpochs * n);
+        {
+            std::unique_lock<std::mutex> lock(ctl);
+            for (;;) {
+                if (vertex_updates.load(std::memory_order_relaxed) >=
+                    max_updates)
+                    break;
+                std::optional<BlockId> b = sched->next();
+                if (!b) {
+                    if (inflight == 0)
+                        break;   // quiescent
+                    ctlCv.wait(lock, [&] {
+                        return inflight == 0 || !sched->empty();
+                    });
+                    continue;
+                }
+                inflight++;
+                lock.unlock();
+                work.push(*b);
+                if (barrier_per_wave) {
+                    // Memory barrier after each block's GAS processing
+                    // (the paper's 'Barrier' baseline).
+                    std::unique_lock<std::mutex> wait_lock(ctl);
+                    ctlCv.wait(wait_lock, [&] { return inflight == 0; });
+                    wait_lock.unlock();
+                }
+                lock.lock();
+            }
+        }
+
+        work.close();
+        for (auto &t : threads)
+            t.join();
+
+        report.vertexUpdates = vertex_updates.load();
+        report.blockUpdates = block_updates.load();
+        report.edgeTraversals = edge_traversals.load();
+        report.scatterWrites = scatter_writes.load();
+        report.epochs = static_cast<double>(report.vertexUpdates) / n;
+        {
+            std::lock_guard<std::mutex> lock(ctl);
+            report.converged = sched->empty();
+        }
+        return report;
+    }
+
+    EngineReport
+    runBsp()
+    {
+        // Jacobi supersteps with a thread-parallel wave and a global
+        // barrier (join) per iteration; commits go to a double buffer.
+        EngineReport report;
+        const double n = std::max<double>(graph.numVertices(), 1.0);
+        auto sched = makeScheduler(options.schedule, graph.numBlocks(),
+                                   options.seed);
+        for (BlockId b = 0; b < graph.numBlocks(); b++)
+            sched->activate(b, initialActivationPriority());
+
+        std::vector<BlockId> wave;
+        std::vector<BlockUpdate<Value>> updates;
+        while (!sched->empty()) {
+            wave.clear();
+            while (auto b = sched->next())
+                wave.push_back(*b);
+
+            updates.assign(wave.size(), {});
+            std::atomic<std::size_t> cursor{0};
+            auto worker = [&] {
+                for (;;) {
+                    std::size_t i =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= wave.size())
+                        return;
+                    updates[i] = gatherApplyBlock(wave[i]);
+                }
+            };
+            std::vector<std::thread> threads;
+            const std::uint32_t nthreads =
+                std::max(1u, options.numThreads);
+            for (std::uint32_t t = 0; t < nthreads; t++)
+                threads.emplace_back(worker);
+            for (auto &t : threads)
+                t.join();   // the global memory barrier
+
+            for (std::size_t i = 0; i < wave.size(); i++) {
+                commitUpdate(wave[i], updates[i], *sched, report);
+            }
+            report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            if (report.epochs >= options.maxEpochs)
+                break;
+        }
+        report.converged = sched->empty();
+        return report;
+    }
+
+    /** Jacobi helper: GATHER-APPLY one block without committing. */
+    BlockUpdate<Value>
+    gatherApplyBlock(BlockId b)
+    {
+        BlockUpdate<Value> out;
+        out.block = b;
+        for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
+             v++) {
+            auto acc = program.identity();
+            Value old = values[v].load(std::memory_order_relaxed);
+            for (EdgeId e = graph.inEdgeBegin(v); e < graph.inEdgeEnd(v);
+                 e++) {
+                Value ev = edgeValues[e].load(std::memory_order_relaxed);
+                acc = program.combine(
+                    acc, program.edgeTerm(old, ev, graph.edgeWeight(e)));
+            }
+            Value next = program.apply(v, acc, old, graph);
+            double d = program.delta(old, next);
+            out.l1Delta += d;
+            if (d > options.tolerance)
+                out.changed++;
+            out.newValues.push_back(next);
+            out.deltas.push_back(d);
+        }
+        return out;
+    }
+
+    /** Jacobi helper: commit + activate one block update. */
+    void
+    commitUpdate(BlockId b, const BlockUpdate<Value> &update,
+                 BlockScheduler &sched, EngineReport &report)
+    {
+        const VertexId begin = graph.blockBegin(b);
+        for (std::size_t i = 0; i < update.newValues.size(); i++) {
+            const VertexId v = begin + static_cast<VertexId>(i);
+            values[v].store(update.newValues[i],
+                            std::memory_order_relaxed);
+            if (update.deltas[i] > options.tolerance) {
+                auto positions = graph.scatterPositions(v);
+                if (positions.empty())
+                    continue;
+                Value ev = program.edgeValue(v, update.newValues[i],
+                                             graph);
+                const double edge_delta = program.delta(
+                    edgeValues[positions.front()].load(
+                        std::memory_order_relaxed),
+                    ev);
+                for (EdgeId pos : positions) {
+                    edgeValues[pos].store(ev, std::memory_order_relaxed);
+                    sched.activate(graph.blockOf(graph.edgeDst(pos)),
+                                   edge_delta);
+                    report.scatterWrites++;
+                }
+            }
+        }
+        report.blockUpdates++;
+        report.vertexUpdates += update.newValues.size();
+        report.edgeTraversals += graph.blockEdgeCount(b);
+    }
+
+    const BlockPartition &graph;
+    Program program;
+    EngineOptions options;
+
+    std::vector<std::atomic<Value>> values;
+    std::vector<std::atomic<Value>> edgeValues;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_CORE_ASYNC_ENGINE_HH

@@ -1,0 +1,33 @@
+#include "core/options.hh"
+
+namespace graphabcd {
+
+const char *
+to_string(Schedule schedule)
+{
+    switch (schedule) {
+      case Schedule::Cyclic:
+        return "cyclic";
+      case Schedule::Priority:
+        return "priority";
+      case Schedule::Random:
+        return "random";
+    }
+    return "?";
+}
+
+const char *
+to_string(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Async:
+        return "async";
+      case ExecMode::Barrier:
+        return "barrier";
+      case ExecMode::Bsp:
+        return "bsp";
+    }
+    return "?";
+}
+
+} // namespace graphabcd

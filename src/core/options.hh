@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BCD engine configuration — the paper's three algorithm design options
+ * (Sec. III-B) plus execution-model and termination knobs.
+ */
+
+#ifndef GRAPHABCD_CORE_OPTIONS_HH
+#define GRAPHABCD_CORE_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.hh"
+
+namespace graphabcd {
+
+/**
+ * Block selection method (scheduling strategy, paper Sec. III-B).
+ */
+enum class Schedule
+{
+    Cyclic,     //!< fixed order, predictable, prefetch friendly
+    Priority,   //!< Gauss-Southwell: largest estimated gradient first
+    Random,     //!< uniform over active blocks (used in ablations)
+};
+
+/** @return human-readable name of a Schedule. */
+const char *to_string(Schedule schedule);
+
+/**
+ * Execution model, used by the threaded engine and the HARP simulator to
+ * build the paper's Fig. 7 breakdown.
+ */
+enum class ExecMode
+{
+    Async,     //!< barrierless, lock-free (GraphABCD proper)
+    Barrier,   //!< memory barrier after every block's GAS processing
+    Bsp,       //!< global barrier per iteration, Jacobi-style commits
+};
+
+/** @return human-readable name of an ExecMode. */
+const char *to_string(ExecMode mode);
+
+/**
+ * Knobs of a BCD run.  Defaults follow the paper's prototype: block size
+ * of a few hundred to a few thousand vertices, cyclic selection unless
+ * priority is switched on.
+ */
+struct EngineOptions
+{
+    /** Vertices per block; >= |V| degenerates to full gradient descent
+     *  (BSP / Jacobi). */
+    VertexId blockSize = 512;
+
+    /** Block selection rule. */
+    Schedule schedule = Schedule::Cyclic;
+
+    /** Execution model (threaded engine / simulator only; the serial
+     *  engine is inherently Gauss-Seidel over blocks). */
+    ExecMode mode = ExecMode::Async;
+
+    /**
+     * Per-vertex activation threshold: a vertex whose value moved by
+     * less than this does not (re)activate its downstream blocks.  This
+     * is the quiescence-based convergence criterion.
+     */
+    double tolerance = 1e-7;
+
+    /** Hard safety limit in epochs (1 epoch == |V| vertex updates). */
+    double maxEpochs = 10000.0;
+
+    /** Seed for the Random scheduler. */
+    std::uint64_t seed = 1;
+
+    /** Worker threads for the threaded asynchronous engine. */
+    std::uint32_t numThreads = 4;
+
+    /**
+     * Record a convergence-trace sample roughly every `traceInterval`
+     * epochs (0 disables tracing).  Used by the Fig. 4/5 harnesses.
+     */
+    double traceInterval = 0.0;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_CORE_OPTIONS_HH

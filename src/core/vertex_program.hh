@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The GAS vertex-program contract used by every GraphABCD engine.
+ *
+ * GraphABCD executes the *pull-push* variant of Gather-Apply-Scatter
+ * (paper Fig. 3(c)): vertex values are copied onto out-going edges, so
+ * GATHER streams a block's in-edge slice sequentially and never touches
+ * the vertex array at random.  A vertex program supplies:
+ *
+ *   Value      — the per-vertex (and edge-carried) state;
+ *   Accum      — the GATHER accumulator;
+ *   init       — initial vertex value;
+ *   identity   — GATHER identity element;
+ *   edgeTerm   — maps one in-edge to an Accum (may read the destination's
+ *                current value, which the PE holds in its input buffer);
+ *   combine    — associative & commutative reduction of two Accums (this
+ *                is what the tagged dataflow reduction unit evaluates
+ *                out of order, paper Sec. IV-C);
+ *   apply      — new vertex value from old value + reduced accumulator;
+ *   edgeValue  — the value SCATTER copies onto out-edges (e.g. rank/deg
+ *                for PageRank);
+ *   delta      — scalar magnitude of a value change, used for the
+ *                activation threshold and the Gauss-Southwell priority
+ *                estimate (paper Sec. IV-B).
+ *
+ * Programs must be cheap to copy; engines pass them by value.
+ */
+
+#ifndef GRAPHABCD_CORE_VERTEX_PROGRAM_HH
+#define GRAPHABCD_CORE_VERTEX_PROGRAM_HH
+
+#include <concepts>
+#include <type_traits>
+
+#include "graph/partition.hh"
+#include "graph/types.hh"
+
+namespace graphabcd {
+
+/**
+ * Compile-time check of the vertex-program contract.  Violations produce
+ * a readable diagnostic at the engine instantiation site.
+ */
+template <typename P>
+concept VertexProgram = requires(const P p, typename P::Value v,
+                                 typename P::Accum a, VertexId vid,
+                                 const BlockPartition &g, float w) {
+    typename P::Value;
+    typename P::Accum;
+    { p.init(vid, g) } -> std::convertible_to<typename P::Value>;
+    { p.identity() } -> std::convertible_to<typename P::Accum>;
+    { p.edgeTerm(v, v, w) } -> std::convertible_to<typename P::Accum>;
+    { p.combine(a, a) } -> std::convertible_to<typename P::Accum>;
+    { p.apply(vid, a, v, g) } -> std::convertible_to<typename P::Value>;
+    { p.edgeValue(vid, v, g) } -> std::convertible_to<typename P::Value>;
+    { p.delta(v, v) } -> std::convertible_to<double>;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_CORE_VERTEX_PROGRAM_HH

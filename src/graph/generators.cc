@@ -1,0 +1,217 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+namespace {
+
+/** Smallest power-of-two exponent with 2^k >= n. */
+std::uint32_t
+ceilLog2(std::uint64_t n)
+{
+    std::uint32_t k = 0;
+    while ((1ULL << k) < n)
+        k++;
+    return k;
+}
+
+} // namespace
+
+EdgeList
+generateRmat(VertexId num_vertices, EdgeId num_edges, Rng &rng,
+             const RmatOptions &opts)
+{
+    GRAPHABCD_ASSERT(num_vertices > 0, "empty RMAT graph requested");
+    GRAPHABCD_ASSERT(opts.a + opts.b + opts.c <= 1.0 + 1e-9,
+                     "RMAT quadrant probabilities exceed 1");
+
+    const std::uint32_t levels = std::max(1u, ceilLog2(num_vertices));
+
+    // Optional id scrambling permutation so low ids are not hubs.
+    std::vector<VertexId> perm;
+    if (opts.scramble) {
+        perm.resize(num_vertices);
+        std::iota(perm.begin(), perm.end(), 0);
+        for (VertexId i = num_vertices; i > 1; i--) {
+            VertexId j = static_cast<VertexId>(rng.nextBounded(i));
+            std::swap(perm[i - 1], perm[j]);
+        }
+    }
+
+    EdgeList el(num_vertices);
+    el.edges().reserve(num_edges);
+    const double ab = opts.a + opts.b;
+    const double abc = opts.a + opts.b + opts.c;
+
+    for (EdgeId e = 0; e < num_edges; e++) {
+        std::uint64_t src = 0, dst = 0;
+        for (std::uint32_t level = 0; level < levels; level++) {
+            double r = rng.nextDouble();
+            src <<= 1;
+            dst <<= 1;
+            if (r >= ab)
+                src |= 1;
+            if (r >= opts.a && (r < ab || r >= abc))
+                dst |= 1;
+        }
+        auto s = static_cast<VertexId>(src % num_vertices);
+        auto d = static_cast<VertexId>(dst % num_vertices);
+        if (!opts.self_loops && s == d) {
+            e--;   // resample
+            continue;
+        }
+        if (opts.scramble) {
+            s = perm[s];
+            d = perm[d];
+        }
+        float w = 1.0f;
+        if (opts.weighted) {
+            w = opts.min_weight +
+                static_cast<float>(rng.nextDouble()) *
+                    (opts.max_weight - opts.min_weight);
+        }
+        el.addEdge(s, d, w);
+    }
+    return el;
+}
+
+EdgeList
+generateErdosRenyi(VertexId num_vertices, EdgeId num_edges, Rng &rng,
+                   bool weighted)
+{
+    GRAPHABCD_ASSERT(num_vertices > 0, "empty ER graph requested");
+    EdgeList el(num_vertices);
+    el.edges().reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; e++) {
+        auto s = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        auto d = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (s == d) {
+            e--;
+            continue;
+        }
+        float w = weighted
+            ? 1.0f + static_cast<float>(rng.nextDouble()) * 15.0f
+            : 1.0f;
+        el.addEdge(s, d, w);
+    }
+    return el;
+}
+
+EdgeList
+generateChain(VertexId num_vertices, bool weighted)
+{
+    EdgeList el(num_vertices);
+    for (VertexId v = 0; v + 1 < num_vertices; v++)
+        el.addEdge(v, v + 1, weighted ? static_cast<float>(v % 7 + 1)
+                                      : 1.0f);
+    return el;
+}
+
+EdgeList
+generateCycle(VertexId num_vertices)
+{
+    EdgeList el = generateChain(num_vertices, false);
+    if (num_vertices > 1)
+        el.addEdge(num_vertices - 1, 0, 1.0f);
+    return el;
+}
+
+EdgeList
+generateStar(VertexId num_vertices)
+{
+    EdgeList el(num_vertices);
+    for (VertexId v = 1; v < num_vertices; v++)
+        el.addEdge(0, v, 1.0f);
+    return el;
+}
+
+EdgeList
+generateGrid2d(VertexId rows, VertexId cols, Rng &rng, bool weighted)
+{
+    GRAPHABCD_ASSERT(rows > 0 && cols > 0, "degenerate grid");
+    EdgeList el(rows * cols);
+    auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+    auto wgt = [&]() {
+        return weighted
+            ? 1.0f + static_cast<float>(rng.nextDouble()) * 15.0f
+            : 1.0f;
+    };
+    for (VertexId r = 0; r < rows; r++) {
+        for (VertexId c = 0; c < cols; c++) {
+            if (c + 1 < cols) {
+                float w = wgt();
+                el.addEdge(id(r, c), id(r, c + 1), w);
+                el.addEdge(id(r, c + 1), id(r, c), w);
+            }
+            if (r + 1 < rows) {
+                float w = wgt();
+                el.addEdge(id(r, c), id(r + 1, c), w);
+                el.addEdge(id(r + 1, c), id(r, c), w);
+            }
+        }
+    }
+    return el;
+}
+
+EdgeList
+generateComplete(VertexId num_vertices)
+{
+    EdgeList el(num_vertices);
+    for (VertexId s = 0; s < num_vertices; s++)
+        for (VertexId d = 0; d < num_vertices; d++)
+            if (s != d)
+                el.addEdge(s, d, 1.0f);
+    return el;
+}
+
+BipartiteGraph
+generateRatings(VertexId users, VertexId items, EdgeId num_ratings,
+                Rng &rng, const RatingOptions &opts)
+{
+    GRAPHABCD_ASSERT(users > 0 && items > 0, "degenerate bipartite shape");
+
+    // Plant low-rank structure: hidden factors ~ N(0, 1)/sqrt(H), so the
+    // inner product has unit-ish variance; shift/scale into rating range.
+    const std::uint32_t h = opts.latent_dim;
+    std::vector<double> uf(static_cast<std::size_t>(users) * h);
+    std::vector<double> itf(static_cast<std::size_t>(items) * h);
+    const double inv_sqrt_h = 1.0 / std::sqrt(static_cast<double>(h));
+    for (auto &x : uf)
+        x = rng.nextGaussian() * inv_sqrt_h;
+    for (auto &x : itf)
+        x = rng.nextGaussian() * inv_sqrt_h;
+
+    const double mid = 0.5 * (opts.min_rating + opts.max_rating);
+    const double half = 0.5 * (opts.max_rating - opts.min_rating);
+
+    ZipfSampler item_pop(items, opts.item_skew);
+
+    BipartiteGraph bg;
+    bg.users = users;
+    bg.items = items;
+    bg.graph = EdgeList(users + items);
+    bg.graph.edges().reserve(num_ratings);
+
+    for (EdgeId e = 0; e < num_ratings; e++) {
+        auto u = static_cast<VertexId>(rng.nextBounded(users));
+        auto i = static_cast<VertexId>(item_pop.sample(rng));
+        double dot = 0.0;
+        for (std::uint32_t k = 0; k < h; k++)
+            dot += uf[static_cast<std::size_t>(u) * h + k] *
+                   itf[static_cast<std::size_t>(i) * h + k];
+        double rating = mid + half * std::tanh(dot) +
+                        opts.noise * rng.nextGaussian();
+        rating = std::clamp(rating, opts.min_rating, opts.max_rating);
+        bg.graph.addEdge(bg.userVertex(u), bg.itemVertex(i),
+                         static_cast<float>(rating));
+    }
+    return bg;
+}
+
+} // namespace graphabcd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These stand in for the paper's real-world inputs (Table I): RMAT
+ * reproduces the power-law degree skew of the social graphs, the bipartite
+ * rating generator reproduces the user-item structure of the
+ * recommendation datasets, and the regular families (chain, grid, star,
+ * complete) exercise edge cases in tests.
+ */
+
+#ifndef GRAPHABCD_GRAPH_GENERATORS_HH
+#define GRAPHABCD_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/edge_list.hh"
+#include "support/random.hh"
+
+namespace graphabcd {
+
+/** Parameters of the recursive-matrix (RMAT) generator. */
+struct RmatOptions
+{
+    double a = 0.57;   //!< top-left quadrant probability (Graph500 values)
+    double b = 0.19;   //!< top-right
+    double c = 0.19;   //!< bottom-left; d = 1 - a - b - c
+    bool scramble = true;   //!< permute ids to break locality artifacts
+    bool self_loops = false;
+    bool weighted = false;  //!< uniform weights in [min,max] when true
+    float min_weight = 1.0f;
+    float max_weight = 16.0f;
+};
+
+/**
+ * RMAT power-law graph (Chakrabarti et al.).
+ * @param num_vertices rounded up to a power of two internally; emitted ids
+ *        are folded back into [0, num_vertices).
+ * @param num_edges number of directed edges generated (duplicates kept —
+ *        real social graphs have parallel interactions too).
+ */
+EdgeList generateRmat(VertexId num_vertices, EdgeId num_edges, Rng &rng,
+                      const RmatOptions &opts = {});
+
+/** Erdős–Rényi G(n, m): m uniform random directed edges. */
+EdgeList generateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                            Rng &rng, bool weighted = false);
+
+/** Directed chain 0 -> 1 -> ... -> n-1 (worst case for propagation). */
+EdgeList generateChain(VertexId num_vertices, bool weighted = false);
+
+/** Directed cycle: chain plus the closing edge n-1 -> 0. */
+EdgeList generateCycle(VertexId num_vertices);
+
+/** Star: hub 0 -> every other vertex (extreme out-degree skew). */
+EdgeList generateStar(VertexId num_vertices);
+
+/**
+ * 4-neighbor 2-D grid with edges in both directions, the classic road
+ * network stand-in for SSSP.  Vertices are row-major.
+ * @param weighted uniform random weights in [1, 16] when true.
+ */
+EdgeList generateGrid2d(VertexId rows, VertexId cols, Rng &rng,
+                        bool weighted = true);
+
+/** Complete directed graph without self loops (dense stress test). */
+EdgeList generateComplete(VertexId num_vertices);
+
+/** A bipartite rating graph plus its shape metadata. */
+struct BipartiteGraph
+{
+    EdgeList graph;        //!< users [0,users), items [users,users+items)
+    VertexId users = 0;
+    VertexId items = 0;
+
+    /** @return the vertex id of user `u`. */
+    VertexId userVertex(VertexId u) const { return u; }
+    /** @return the vertex id of item `i`. */
+    VertexId itemVertex(VertexId i) const { return users + i; }
+};
+
+/** Parameters of the synthetic rating generator. */
+struct RatingOptions
+{
+    double item_skew = 0.8;     //!< Zipf exponent of item popularity
+    double min_rating = 1.0;
+    double max_rating = 5.0;
+    std::uint32_t latent_dim = 8;   //!< planted factor dimensionality
+    double noise = 0.3;             //!< gaussian noise added to ratings
+};
+
+/**
+ * Synthetic user-item ratings with a *planted* low-rank structure: ratings
+ * are inner products of hidden user/item factors plus noise, so CF can
+ * actually recover signal and its RMSE curve is meaningful (paper Fig. 5).
+ * Edges run user -> item; symmetrize for the CF training loop.
+ */
+BipartiteGraph generateRatings(VertexId users, VertexId items,
+                               EdgeId num_ratings, Rng &rng,
+                               const RatingOptions &opts = {});
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_GRAPH_GENERATORS_HH

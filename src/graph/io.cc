@@ -1,0 +1,142 @@
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+EdgeList
+loadEdgeList(const std::string &path, bool densify)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        fatal("cannot open edge list '", path, "'");
+
+    std::vector<Edge> raw;
+    std::uint64_t max_id = 0;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(ifs, line)) {
+        line_no++;
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        std::uint64_t s, d;
+        float w = 1.0f;
+        if (!(iss >> s >> d))
+            fatal("garbled edge at ", path, ":", line_no);
+        iss >> w;   // optional third column
+        raw.emplace_back(static_cast<VertexId>(s),
+                         static_cast<VertexId>(d), w);
+        max_id = std::max({max_id, s, d});
+    }
+
+    if (!densify) {
+        EdgeList el(static_cast<VertexId>(max_id) + 1);
+        for (const Edge &e : raw)
+            el.addEdge(e.src, e.dst, e.weight);
+        return el;
+    }
+
+    std::unordered_map<VertexId, VertexId> remap;
+    remap.reserve(raw.size() * 2);
+    auto intern = [&remap](VertexId v) {
+        auto [it, fresh] =
+            remap.emplace(v, static_cast<VertexId>(remap.size()));
+        (void)fresh;
+        return it->second;
+    };
+    for (Edge &e : raw) {
+        e.src = intern(e.src);
+        e.dst = intern(e.dst);
+    }
+    EdgeList el(static_cast<VertexId>(remap.size()));
+    for (const Edge &e : raw)
+        el.addEdge(e.src, e.dst, e.weight);
+    return el;
+}
+
+namespace {
+
+constexpr char binaryMagic[4] = {'A', 'B', 'C', 'D'};
+constexpr std::uint32_t binaryVersion = 1;
+
+} // namespace
+
+void
+saveEdgeListBinary(const EdgeList &el, const std::string &path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        fatal("cannot open '", path, "' for writing");
+    ofs.write(binaryMagic, sizeof(binaryMagic));
+    const std::uint32_t version = binaryVersion;
+    const std::uint32_t n = el.numVertices();
+    const std::uint64_t m = el.numEdges();
+    ofs.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    ofs.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    ofs.write(reinterpret_cast<const char *>(&m), sizeof(m));
+    static_assert(sizeof(Edge) == 12, "Edge layout changed: bump the "
+                                      "binary format version");
+    ofs.write(reinterpret_cast<const char *>(el.edges().data()),
+              static_cast<std::streamsize>(m * sizeof(Edge)));
+    if (!ofs)
+        fatal("short write to '", path, "'");
+}
+
+EdgeList
+loadEdgeListBinary(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        fatal("cannot open binary edge list '", path, "'");
+    char magic[4];
+    std::uint32_t version = 0, n = 0;
+    std::uint64_t m = 0;
+    ifs.read(magic, sizeof(magic));
+    ifs.read(reinterpret_cast<char *>(&version), sizeof(version));
+    ifs.read(reinterpret_cast<char *>(&n), sizeof(n));
+    ifs.read(reinterpret_cast<char *>(&m), sizeof(m));
+    if (!ifs || std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        fatal("'", path, "' is not a graphabcd binary edge list");
+    if (version != binaryVersion)
+        fatal("'", path, "' has format version ", version,
+              ", expected ", binaryVersion);
+    std::vector<Edge> edges(m);
+    ifs.read(reinterpret_cast<char *>(edges.data()),
+             static_cast<std::streamsize>(m * sizeof(Edge)));
+    if (!ifs)
+        fatal("'", path, "' is truncated");
+    return EdgeList(n, std::move(edges));
+}
+
+void
+saveEdgeList(const EdgeList &el, const std::string &path)
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("cannot open '", path, "' for writing");
+    ofs << "# graphabcd edge list: " << el.numVertices() << " vertices, "
+        << el.numEdges() << " edges\n";
+    bool uniform = true;
+    for (const Edge &e : el.edges()) {
+        if (e.weight != 1.0f) {
+            uniform = false;
+            break;
+        }
+    }
+    for (const Edge &e : el.edges()) {
+        ofs << e.src << ' ' << e.dst;
+        if (!uniform)
+            ofs << ' ' << e.weight;
+        ofs << '\n';
+    }
+}
+
+} // namespace graphabcd

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text edge-list I/O (the format the paper's prototype consumes).
+ *
+ * Format: one "src dst [weight]" triple per line; '#' or '%' start
+ * comment lines (SNAP and Matrix Market headers respectively).  Vertex
+ * ids may be sparse in the file; loadEdgeList() densifies them.
+ */
+
+#ifndef GRAPHABCD_GRAPH_IO_HH
+#define GRAPHABCD_GRAPH_IO_HH
+
+#include <string>
+
+#include "graph/edge_list.hh"
+
+namespace graphabcd {
+
+/**
+ * Load a whitespace-separated edge list.
+ * @param path input file.
+ * @param densify remap sparse ids to [0, n); when false the max id + 1
+ *        becomes the vertex count.
+ * @throws FatalError on missing/garbled files.
+ */
+EdgeList loadEdgeList(const std::string &path, bool densify = true);
+
+/** Write "src dst weight" lines (weight omitted when uniformly 1). */
+void saveEdgeList(const EdgeList &el, const std::string &path);
+
+/**
+ * Write the compact binary format: magic "ABCD", format version,
+ * vertex count, edge count, then raw (src, dst, weight) records.
+ * Roughly 5x smaller and 20x faster to load than the text format.
+ */
+void saveEdgeListBinary(const EdgeList &el, const std::string &path);
+
+/** Load the binary format; fatal() on bad magic/version/truncation. */
+EdgeList loadEdgeListBinary(const std::string &path);
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_GRAPH_IO_HH

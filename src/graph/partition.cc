@@ -1,0 +1,140 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+BlockPartition::BlockPartition(const EdgeList &el, VertexId block_size)
+    : nVertices(el.numVertices())
+{
+    GRAPHABCD_ASSERT(block_size > 0, "block size must be positive");
+    blockSize_ = std::min<VertexId>(block_size,
+                                    std::max<VertexId>(nVertices, 1));
+    nBlocks = nVertices == 0
+        ? 0
+        : static_cast<BlockId>((nVertices + blockSize_ - 1) / blockSize_);
+
+    blockBegins.resize(static_cast<std::size_t>(nBlocks) + 1);
+    for (BlockId b = 0; b < nBlocks; b++)
+        blockBegins[b] = b * blockSize_;
+    blockBegins[nBlocks] = nVertices;
+
+    buildFromBoundaries(el);
+}
+
+BlockPartition::BlockPartition(const EdgeList &el,
+                               EdgeId target_edges_per_block,
+                               EdgeBalanced)
+    : nVertices(el.numVertices())
+{
+    GRAPHABCD_ASSERT(target_edges_per_block > 0,
+                     "edge budget must be positive");
+
+    // Greedy contiguous cut: extend the current block until its in-edge
+    // count reaches the target; a single hub vertex may exceed the
+    // target on its own (blocks always hold at least one vertex).
+    std::vector<std::uint32_t> ind = el.inDegrees();
+    blockBegins.push_back(0);
+    EdgeId in_block = 0;
+    for (VertexId v = 0; v < nVertices; v++) {
+        in_block += ind[v];
+        if (in_block >= target_edges_per_block && v + 1 < nVertices) {
+            blockBegins.push_back(v + 1);
+            in_block = 0;
+        }
+    }
+    if (nVertices > 0)
+        blockBegins.push_back(nVertices);
+    else
+        blockBegins.assign(1, 0);
+
+    nBlocks = static_cast<BlockId>(blockBegins.size() - 1);
+    blockSize_ = nBlocks
+        ? std::max<VertexId>(1, nVertices / nBlocks)
+        : 1;
+
+    buildFromBoundaries(el);
+}
+
+void
+BlockPartition::buildFromBoundaries(const EdgeList &el)
+{
+    // Vertex -> block lookup.
+    vertexBlock.resize(nVertices);
+    for (BlockId b = 0; b < nBlocks; b++) {
+        for (VertexId v = blockBegins[b]; v < blockBegins[b + 1]; v++)
+            vertexBlock[v] = b;
+    }
+
+    const EdgeId m = el.numEdges();
+    inOffsets.assign(static_cast<std::size_t>(nVertices) + 1, 0);
+    edgeSrc_.resize(m);
+    edgeDst_.resize(m);
+    edgeWeight_.resize(m);
+
+    // Counting sort by destination: in-coming edges of the same vertex
+    // become contiguous; since blocks are contiguous vertex ranges, each
+    // block's edge slice is contiguous too (the paper's layout).
+    for (const Edge &e : el.edges())
+        inOffsets[e.dst + 1]++;
+    for (VertexId v = 0; v < nVertices; v++)
+        inOffsets[v + 1] += inOffsets[v];
+
+    {
+        std::vector<EdgeId> cursor(inOffsets.begin(), inOffsets.end() - 1);
+        for (const Edge &e : el.edges()) {
+            EdgeId pos = cursor[e.dst]++;
+            edgeSrc_[pos] = e.src;
+            edgeDst_[pos] = e.dst;
+            edgeWeight_[pos] = e.weight;
+        }
+    }
+
+    // Scatter index: group CSC positions by their *source* vertex with a
+    // second counting sort, so SCATTER can enumerate where to copy a
+    // vertex's new value.
+    scatterOffsets.assign(static_cast<std::size_t>(nVertices) + 1, 0);
+    for (EdgeId pos = 0; pos < m; pos++)
+        scatterOffsets[edgeSrc_[pos] + 1]++;
+    for (VertexId v = 0; v < nVertices; v++)
+        scatterOffsets[v + 1] += scatterOffsets[v];
+
+    scatterPos.resize(m);
+    {
+        std::vector<EdgeId> cursor(scatterOffsets.begin(),
+                                   scatterOffsets.end() - 1);
+        for (EdgeId pos = 0; pos < m; pos++)
+            scatterPos[cursor[edgeSrc_[pos]]++] = pos;
+    }
+
+    // Downstream block sets: for each source block, the sorted unique
+    // destination blocks of its out-edges.
+    downstreamOffsets.assign(static_cast<std::size_t>(nBlocks) + 1, 0);
+    std::vector<std::vector<BlockId>> per_block(nBlocks);
+    {
+        std::vector<BlockId> scratch;
+        for (BlockId b = 0; b < nBlocks; b++) {
+            scratch.clear();
+            for (VertexId v = blockBegin(b); v < blockEnd(b); v++) {
+                for (EdgeId pos : scatterPositions(v))
+                    scratch.push_back(blockOf(edgeDst_[pos]));
+            }
+            std::sort(scratch.begin(), scratch.end());
+            scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                          scratch.end());
+            per_block[b] = scratch;
+            downstreamOffsets[b + 1] =
+                downstreamOffsets[b] + scratch.size();
+        }
+    }
+    downstream.resize(downstreamOffsets[nBlocks]);
+    for (BlockId b = 0; b < nBlocks; b++) {
+        std::copy(per_block[b].begin(), per_block[b].end(),
+                  downstream.begin() +
+                      static_cast<std::ptrdiff_t>(downstreamOffsets[b]));
+    }
+}
+
+} // namespace graphabcd

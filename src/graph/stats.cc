@@ -1,0 +1,70 @@
+#include "graph/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace graphabcd {
+
+GraphStats
+computeGraphStats(const EdgeList &el)
+{
+    GraphStats stats;
+    stats.numVertices = el.numVertices();
+    stats.numEdges = el.numEdges();
+    if (stats.numVertices == 0)
+        return stats;
+    stats.avgDegree = static_cast<double>(stats.numEdges) /
+                      stats.numVertices;
+
+    std::vector<std::uint32_t> outd = el.outDegrees();
+    std::vector<std::uint32_t> ind = el.inDegrees();
+
+    EdgeId self_loops = 0;
+    for (const Edge &e : el.edges())
+        self_loops += e.src == e.dst;
+    stats.selfLoopFraction = stats.numEdges
+        ? static_cast<double>(self_loops) / stats.numEdges
+        : 0.0;
+
+    for (VertexId v = 0; v < stats.numVertices; v++) {
+        stats.maxOutDegree = std::max(stats.maxOutDegree, outd[v]);
+        stats.maxInDegree = std::max(stats.maxInDegree, ind[v]);
+        if (outd[v] == 0) {
+            stats.danglingVertices++;
+            if (ind[v] == 0)
+                stats.isolatedVertices++;
+        }
+    }
+
+    // Gini via the sorted-degree formula:
+    // G = (2 * sum_i i*d_i) / (n * sum d) - (n + 1) / n, d ascending.
+    std::sort(ind.begin(), ind.end());
+    const double total = std::accumulate(ind.begin(), ind.end(), 0.0);
+    if (total > 0.0) {
+        double weighted = 0.0;
+        for (VertexId i = 0; i < stats.numVertices; i++)
+            weighted += static_cast<double>(i + 1) * ind[i];
+        const double n = stats.numVertices;
+        stats.inDegreeGini = 2.0 * weighted / (n * total) - (n + 1) / n;
+    }
+    return stats;
+}
+
+std::string
+GraphStats::toString() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%u vertices, %llu edges (avg degree %.2f); max degree "
+        "out=%u in=%u; %u dangling, %u isolated; %.2f%% self loops; "
+        "in-degree Gini %.3f",
+        numVertices, static_cast<unsigned long long>(numEdges),
+        avgDegree, maxOutDegree, maxInDegree, danglingVertices,
+        isolatedVertices, selfLoopFraction * 100.0, inDegreeGini);
+    return buf;
+}
+
+} // namespace graphabcd

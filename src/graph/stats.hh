@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Descriptive statistics of a graph — degree distribution summary,
+ * skew, block-balance preview — used by the CLI (--stats) and by
+ * examples to describe their inputs.
+ */
+
+#ifndef GRAPHABCD_GRAPH_STATS_HH
+#define GRAPHABCD_GRAPH_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.hh"
+
+namespace graphabcd {
+
+/** Summary statistics of one graph. */
+struct GraphStats
+{
+    VertexId numVertices = 0;
+    EdgeId numEdges = 0;
+    double avgDegree = 0.0;
+    std::uint32_t maxOutDegree = 0;
+    std::uint32_t maxInDegree = 0;
+    VertexId isolatedVertices = 0;   //!< no in- and no out-edges
+    VertexId danglingVertices = 0;   //!< out-degree 0 (PR mass leaks)
+    double selfLoopFraction = 0.0;
+
+    /**
+     * Gini coefficient of the in-degree distribution in [0, 1):
+     * 0 = perfectly regular, -> 1 = extreme hub concentration.  The
+     * skew measure behind the paper's load-imbalance concern.
+     */
+    double inDegreeGini = 0.0;
+
+    /** Render as one readable paragraph. */
+    std::string toString() const;
+};
+
+/** Compute summary statistics in O(V + E). */
+GraphStats computeGraphStats(const EdgeList &el);
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_GRAPH_STATS_HH

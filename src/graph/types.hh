@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental graph identifier and edge types.
+ */
+
+#ifndef GRAPHABCD_GRAPH_TYPES_HH
+#define GRAPHABCD_GRAPH_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace graphabcd {
+
+/** Vertex identifier; dense in [0, numVertices). */
+using VertexId = std::uint32_t;
+
+/** Edge identifier / index into flat edge arrays. */
+using EdgeId = std::uint64_t;
+
+/** Block identifier within a BlockPartition. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no vertex". */
+constexpr VertexId invalidVertex = std::numeric_limits<VertexId>::max();
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlock = std::numeric_limits<BlockId>::max();
+
+/**
+ * A directed, weighted edge.  Unweighted algorithms ignore `weight`;
+ * Collaborative Filtering stores the rating there.
+ */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    float weight = 1.0f;
+
+    Edge() = default;
+    Edge(VertexId s, VertexId d, float w = 1.0f)
+        : src(s), dst(d), weight(w)
+    {}
+
+    bool
+    operator==(const Edge &other) const
+    {
+        return src == other.src && dst == other.dst &&
+               weight == other.weight;
+    }
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_GRAPH_TYPES_HH

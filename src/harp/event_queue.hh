@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Discrete-event kernel of the HARP simulator: a time-ordered queue of
+ * thunks with deterministic FIFO tie-breaking.
+ */
+
+#ifndef GRAPHABCD_HARP_EVENT_QUEUE_HH
+#define GRAPHABCD_HARP_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+/**
+ * Min-heap of (time, seq) ordered events.  Events scheduled at equal
+ * times fire in scheduling order, which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Thunk = std::function<void()>;
+
+    /** Schedule `fn` at absolute time `when` (>= current time). */
+    void
+    schedule(double when, Thunk fn)
+    {
+        GRAPHABCD_ASSERT(when + 1e-15 >= now_,
+                         "event scheduled in the past");
+        heap.push(Event{when, seq++, std::move(fn)});
+    }
+
+    /** @return whether any event is pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** @return current simulated time (last popped event time). */
+    double now() const { return now_; }
+
+    /** Pop and run the earliest event, advancing now(). */
+    void
+    runNext()
+    {
+        GRAPHABCD_ASSERT(!heap.empty(), "runNext on an empty queue");
+        // std::priority_queue::top is const; the thunk must be moved out
+        // via const_cast, which is safe because pop() follows at once.
+        auto &top = const_cast<Event &>(heap.top());
+        now_ = top.when;
+        Thunk fn = std::move(top.fn);
+        heap.pop();
+        fn();
+    }
+
+    /** Run until no events remain.  @return final simulated time. */
+    double
+    runToCompletion()
+    {
+        while (!heap.empty())
+            runNext();
+        return now_;
+    }
+
+  private:
+    struct Event
+    {
+        double when;
+        std::uint64_t seq;
+        Thunk fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    std::uint64_t seq = 0;
+    double now_ = 0.0;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_HARP_EVENT_QUEUE_HH

@@ -1,0 +1,37 @@
+#include "harp/graphicionado.hh"
+
+#include <algorithm>
+
+namespace graphabcd {
+
+GraphicionadoReport
+graphicionadoTime(const graphmat::GraphMatReport &run,
+                  VertexId num_vertices, std::uint32_t value_bytes,
+                  const GraphicionadoConfig &cfg)
+{
+    GraphicionadoReport out;
+    out.iterations = run.iterations;
+
+    // Per-edge DRAM traffic: streamed edge record plus the vertex
+    // read-modify-write share that misses the on-chip scratchpad.
+    const double bytes_per_edge =
+        cfg.edgeBytes + cfg.vertexBytesPerEdge +
+        0.25 * static_cast<double>(value_bytes);
+    const double traffic =
+        static_cast<double>(run.edgesProcessed) * bytes_per_edge +
+        static_cast<double>(run.iterations) * num_vertices *
+            value_bytes;
+
+    const double bw_time = traffic / (cfg.bandwidth * cfg.efficiency);
+    const double pipe_time = static_cast<double>(run.edgesProcessed) /
+                             (cfg.streamsPerCycle * cfg.clockHz);
+    out.seconds = std::max(bw_time, pipe_time) +
+                  run.iterations * cfg.barrierSeconds;
+    if (out.seconds > 0.0) {
+        out.mtes = static_cast<double>(run.edgesProcessed) /
+                   out.seconds / 1e6;
+    }
+    return out;
+}
+
+} // namespace graphabcd

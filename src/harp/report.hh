@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Result record of a simulated GraphABCD run on the HARP platform.
+ */
+
+#ifndef GRAPHABCD_HARP_REPORT_HH
+#define GRAPHABCD_HARP_REPORT_HH
+
+#include <cstdint>
+
+namespace graphabcd {
+
+/** Timing, work and utilization counters of one HarpSystem::run(). */
+struct SimReport
+{
+    // ----------------------------------------------------------- time
+    double seconds = 0.0;        //!< simulated execution time
+    double hostSeconds = 0.0;    //!< wall clock spent simulating
+
+    // ----------------------------------------------------------- work
+    double epochs = 0.0;         //!< vertexUpdates / |V|
+    std::uint64_t blockUpdates = 0;
+    std::uint64_t vertexUpdates = 0;
+    std::uint64_t edgeTraversals = 0;
+    std::uint64_t scatterWrites = 0;
+    bool converged = false;
+
+    // ----------------------------------------------------- throughput
+    double mtes = 0.0;           //!< million traversed edges / second
+
+    // ----------------------------------------------------- utilization
+    double peUtilization = 0.0;  //!< mean busy fraction of the FPGA PEs
+    double busUtilization = 0.0; //!< CPU-FPGA link busy fraction
+    double cpuUtilization = 0.0; //!< mean busy fraction of CPU threads
+
+    // ---------------------------------------------------- memory traffic
+    std::uint64_t busReadBytes = 0;   //!< FPGA-side sequential reads
+    std::uint64_t busWriteBytes = 0;  //!< FPGA-side sequential writes
+    std::uint64_t cpuRandomBytes = 0; //!< CPU-side random scatter bytes
+
+    // --------------------------------------------------------- hybrid
+    std::uint64_t fpgaTasks = 0;      //!< blocks processed on PEs
+    std::uint64_t cpuGatherTasks = 0; //!< blocks processed on the CPU
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_HARP_REPORT_HH

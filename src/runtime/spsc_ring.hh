@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wait-free single-producer single-consumer ring buffer.
+ *
+ * Models the point-to-point FIFOs inside the accelerator (PE input/output
+ * buffers, DMA request channels) where exactly one producer and one
+ * consumer exist and the paper's design is lock-free.
+ */
+
+#ifndef GRAPHABCD_RUNTIME_SPSC_RING_HH
+#define GRAPHABCD_RUNTIME_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+/**
+ * Fixed-capacity SPSC ring.  push/pop are wait-free; one slot is kept
+ * empty to distinguish full from empty.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity usable slots; must be > 0. */
+    explicit SpscRing(std::size_t capacity)
+        : buffer(capacity + 1), mask(capacity + 1)
+    {
+        GRAPHABCD_ASSERT(capacity > 0, "ring needs at least one slot");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side.  @return false when full. */
+    bool
+    tryPush(T item)
+    {
+        const std::size_t h = head.load(std::memory_order_relaxed);
+        const std::size_t next = inc(h);
+        if (next == tail.load(std::memory_order_acquire))
+            return false;   // full
+        buffer[h] = std::move(item);
+        head.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side.  @return std::nullopt when empty. */
+    std::optional<T>
+    tryPop()
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        if (t == head.load(std::memory_order_acquire))
+            return std::nullopt;   // empty
+        T item = std::move(buffer[t]);
+        tail.store(inc(t), std::memory_order_release);
+        return item;
+    }
+
+    /** @return number of items currently queued (racy, stats only). */
+    std::size_t
+    size() const
+    {
+        const std::size_t h = head.load(std::memory_order_acquire);
+        const std::size_t t = tail.load(std::memory_order_acquire);
+        return h >= t ? h - t : h + mask - t;
+    }
+
+    /** @return true when no items are queued (racy, stats only). */
+    bool empty() const { return size() == 0; }
+
+    /** @return usable capacity. */
+    std::size_t capacity() const { return mask - 1; }
+
+  private:
+    std::size_t inc(std::size_t i) const { return (i + 1) % mask; }
+
+    std::vector<T> buffer;
+    const std::size_t mask;   //!< buffer length (capacity + 1)
+    alignas(64) std::atomic<std::size_t> head{0};
+    alignas(64) std::atomic<std::size_t> tail{0};
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_RUNTIME_SPSC_RING_HH

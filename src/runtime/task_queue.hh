@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bounded multi-producer multi-consumer task queue.
+ *
+ * This is the *only* control-flow link between the CPU-side scheduler and
+ * the accelerator PEs in GraphABCD (paper Fig. 2): the scheduler pushes
+ * block ids into the accelerator task queue, PEs pull; finished block ids
+ * flow back through the CPU task queue to the SCATTER threads.  The queue
+ * therefore bounds the update-propagation delay, which is exactly the
+ * bounded-staleness condition asynchronous BCD needs for convergence
+ * (paper Sec. III-D).
+ */
+
+#ifndef GRAPHABCD_RUNTIME_TASK_QUEUE_HH
+#define GRAPHABCD_RUNTIME_TASK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+/**
+ * Blocking bounded MPMC queue with close() semantics: after close(),
+ * producers fail and consumers drain the remaining items, then see
+ * std::nullopt.
+ */
+template <typename T>
+class TaskQueue
+{
+  public:
+    /** @param capacity maximum queued items; 0 means unbounded. */
+    explicit TaskQueue(std::size_t capacity = 0) : cap(capacity) {}
+
+    TaskQueue(const TaskQueue &) = delete;
+    TaskQueue &operator=(const TaskQueue &) = delete;
+
+    /**
+     * Block until there is room, then enqueue.
+     * @return false if the queue was closed before the item was accepted.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notFull.wait(lock, [this] {
+            return closed || cap == 0 || items.size() < cap;
+        });
+        if (closed)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Non-blocking enqueue.
+     * @return false when full or closed.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (closed || (cap != 0 && items.size() >= cap))
+                return false;
+            items.push_back(std::move(item));
+        }
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and empty.
+     * @return the item, or std::nullopt on shutdown.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notEmpty.wait(lock, [this] { return closed || !items.empty(); });
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        notFull.notify_one();
+        return item;
+    }
+
+    /** Non-blocking dequeue; std::nullopt when currently empty. */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        notFull.notify_one();
+        return item;
+    }
+
+    /** Wake all waiters; subsequent pushes fail, pops drain then end. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            closed = true;
+        }
+        notEmpty.notify_all();
+        notFull.notify_all();
+    }
+
+    /** @return current queue length (racy, for stats only). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return items.size();
+    }
+
+    /** @return whether close() has been called. */
+    bool
+    isClosed() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return closed;
+    }
+
+    /** @return configured capacity (0 = unbounded). */
+    std::size_t capacity() const { return cap; }
+
+  private:
+    const std::size_t cap;
+    mutable std::mutex mtx;
+    std::condition_variable notEmpty;
+    std::condition_variable notFull;
+    std::deque<T> items;
+    bool closed = false;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_RUNTIME_TASK_QUEUE_HH

@@ -1,0 +1,52 @@
+#include "runtime/thread_pool.hh"
+
+namespace graphabcd {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : queue(0)
+{
+    GRAPHABCD_ASSERT(num_threads > 0, "thread pool needs a worker");
+    workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    queue.close();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (!queue.push(std::move(fn))) {
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+        panic("submit() on a destroyed thread pool");
+    }
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(idleMtx);
+    idleCv.wait(lock, [this] {
+        return inflight.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (auto fn = queue.pop()) {
+        (*fn)();
+        if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(idleMtx);
+            idleCv.notify_all();
+        }
+    }
+}
+
+} // namespace graphabcd

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small fixed-size worker pool used by the threaded asynchronous engine.
+ */
+
+#ifndef GRAPHABCD_RUNTIME_THREAD_POOL_HH
+#define GRAPHABCD_RUNTIME_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/task_queue.hh"
+
+namespace graphabcd {
+
+/**
+ * Fire-and-forget thread pool: submit() enqueues closures, drain() blocks
+ * until every submitted closure has finished.  Destruction joins.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; must be > 0. */
+    explicit ThreadPool(std::size_t num_threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a closure for execution on some worker. */
+    void submit(std::function<void()> fn);
+
+    /** Block until all submitted closures have completed. */
+    void drain();
+
+    /** @return worker count. */
+    std::size_t size() const { return workers.size(); }
+
+  private:
+    void workerLoop();
+
+    TaskQueue<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    std::atomic<std::size_t> inflight{0};
+    std::mutex idleMtx;
+    std::condition_variable idleCv;
+};
+
+/**
+ * Reusable spinning barrier for a fixed set of participants; models the
+ * global memory barrier of the BSP baseline.
+ */
+class SpinBarrier
+{
+  public:
+    /** @param num_threads participants per round; must be > 0. */
+    explicit SpinBarrier(std::size_t num_threads)
+        : count(num_threads), waiting(0), generation(0)
+    {
+        GRAPHABCD_ASSERT(num_threads > 0, "empty barrier");
+    }
+
+    /** Block until all participants of this round have arrived. */
+    void
+    arriveAndWait()
+    {
+        const std::size_t gen = generation.load(std::memory_order_acquire);
+        if (waiting.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+            waiting.store(0, std::memory_order_relaxed);
+            generation.fetch_add(1, std::memory_order_release);
+        } else {
+            while (generation.load(std::memory_order_acquire) == gen)
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    const std::size_t count;
+    std::atomic<std::size_t> waiting;
+    std::atomic<std::size_t> generation;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_RUNTIME_THREAD_POOL_HH

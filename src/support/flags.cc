@@ -1,0 +1,128 @@
+#include "support/flags.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+void
+Flags::declare(const std::string &name, const std::string &default_value,
+               const std::string &help)
+{
+    entries[name] = Entry{Kind::String, default_value, help};
+    order.push_back(name);
+}
+
+void
+Flags::declareInt(const std::string &name, std::int64_t default_value,
+                  const std::string &help)
+{
+    entries[name] = Entry{Kind::Int, std::to_string(default_value), help};
+    order.push_back(name);
+}
+
+void
+Flags::declareDouble(const std::string &name, double default_value,
+                     const std::string &help)
+{
+    entries[name] = Entry{Kind::Double, std::to_string(default_value), help};
+    order.push_back(name);
+}
+
+void
+Flags::declareBool(const std::string &name, bool default_value,
+                   const std::string &help)
+{
+    entries[name] =
+        Entry{Kind::Bool, default_value ? "true" : "false", help};
+    order.push_back(name);
+}
+
+bool
+Flags::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            auto it = entries.find(name);
+            if (it != entries.end() && it->second.kind == Kind::Bool) {
+                value = "true";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                fatal("flag --", name, " needs a value");
+            }
+        }
+
+        auto it = entries.find(name);
+        if (it == entries.end())
+            fatal("unknown flag --", name);
+        it->second.value = value;
+    }
+    return true;
+}
+
+const Flags::Entry &
+Flags::lookup(const std::string &name, Kind kind) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        fatal("flag --", name, " was never declared");
+    if (it->second.kind != kind)
+        fatal("flag --", name, " accessed with the wrong type");
+    return it->second;
+}
+
+const std::string &
+Flags::get(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double
+Flags::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool
+Flags::getBool(const std::string &name) const
+{
+    const std::string &v = lookup(name, Kind::Bool).value;
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+void
+Flags::usage(const std::string &program) const
+{
+    std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+    for (const auto &name : order) {
+        const Entry &entry = entries.at(name);
+        std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                     entry.help.c_str(), entry.value.c_str());
+    }
+}
+
+} // namespace graphabcd

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by benches and examples.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean switches.
+ * Unknown flags are fatal so typos in experiment scripts fail loudly.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_FLAGS_HH
+#define GRAPHABCD_SUPPORT_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace graphabcd {
+
+/**
+ * Declarative flag set: declare the flags with defaults, then parse().
+ */
+class Flags
+{
+  public:
+    /** Declare a string flag. */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /** Declare an integer flag. */
+    void declareInt(const std::string &name, std::int64_t default_value,
+                    const std::string &help);
+
+    /** Declare a floating-point flag. */
+    void declareDouble(const std::string &name, double default_value,
+                       const std::string &help);
+
+    /** Declare a boolean switch (present => true, or --name=false). */
+    void declareBool(const std::string &name, bool default_value,
+                     const std::string &help);
+
+    /**
+     * Parse argv.  "--help" prints usage and returns false (caller should
+     * exit 0).  Unknown flags call fatal().
+     * @return true when the program should continue.
+     */
+    bool parse(int argc, char **argv);
+
+    /** Accessors; fatal() on undeclared names. */
+    const std::string &get(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Print the usage text to stderr. */
+    void usage(const std::string &program) const;
+
+  private:
+    enum class Kind { String, Int, Double, Bool };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string value;
+        std::string help;
+    };
+
+    const Entry &lookup(const std::string &name, Kind kind) const;
+
+    std::map<std::string, Entry> entries;
+    std::vector<std::string> order;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SUPPORT_FLAGS_HH

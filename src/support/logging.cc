@@ -1,0 +1,28 @@
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+namespace detail {
+
+bool &
+verboseFlag()
+{
+    static bool flag = true;
+    return flag;
+}
+
+} // namespace detail
+
+void
+setVerbose(bool verbose)
+{
+    detail::verboseFlag() = verbose;
+}
+
+bool
+verbose()
+{
+    return detail::verboseFlag();
+}
+
+} // namespace graphabcd

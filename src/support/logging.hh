@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: inform() for status, warn() for suspicious
+ * but survivable conditions, fatal() for user errors (bad configuration,
+ * malformed input) and panic() for internal invariant violations.  Because
+ * this is a library rather than a standalone simulator, fatal() and panic()
+ * raise exceptions instead of terminating the process, so embedding
+ * applications and tests can recover.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_LOGGING_HH
+#define GRAPHABCD_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace graphabcd {
+
+/**
+ * Base class of all errors raised by the library.
+ */
+class GraphError : public std::runtime_error
+{
+  public:
+    explicit GraphError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Raised by fatal(): the caller supplied an invalid configuration or
+ * malformed input.  Equivalent of gem5's fatal().
+ */
+class FatalError : public GraphError
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : GraphError(what_arg)
+    {}
+};
+
+/**
+ * Raised by panic(): an internal invariant was violated, i.e. a bug in
+ * the library itself.  Equivalent of gem5's panic().
+ */
+class PanicError : public GraphError
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : GraphError(what_arg)
+    {}
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string using operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Global verbosity switch shared by inform()/warn(). */
+bool &verboseFlag();
+
+} // namespace detail
+
+/** Enable or disable inform()/warn() console output (default: enabled). */
+void setVerbose(bool verbose);
+
+/** @return whether inform()/warn() currently print. */
+bool verbose();
+
+/**
+ * Print an informational status message to stderr.
+ * @param args pieces concatenated with operator<<.
+ */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verbose()) {
+        std::fprintf(stderr, "info: %s\n",
+                     detail::concat(std::forward<Args>(args)...).c_str());
+    }
+}
+
+/**
+ * Print a warning to stderr.  The computation continues.
+ * @param args pieces concatenated with operator<<.
+ */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (verbose()) {
+        std::fprintf(stderr, "warn: %s\n",
+                     detail::concat(std::forward<Args>(args)...).c_str());
+    }
+}
+
+/**
+ * Report an unrecoverable *user* error (bad parameters, malformed file).
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal invariant violation (a library bug).
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace graphabcd
+
+/**
+ * Checked assertion that survives NDEBUG builds.  Use for invariants whose
+ * violation indicates a library bug; the failure message names the
+ * expression and source location.
+ */
+#define GRAPHABCD_ASSERT(cond, ...)                                        \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::graphabcd::panic("assertion '", #cond, "' failed at ",       \
+                               __FILE__, ":", __LINE__, ": ",              \
+                               ##__VA_ARGS__);                             \
+        }                                                                  \
+    } while (0)
+
+#endif // GRAPHABCD_SUPPORT_LOGGING_HH

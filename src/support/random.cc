@@ -1,0 +1,69 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+namespace graphabcd {
+
+double
+Rng::nextGaussian()
+{
+    // Polar Box-Muller; discard the second deviate to keep the generator
+    // stateless beyond its stream position.
+    for (;;) {
+        double u = 2.0 * nextDouble() - 1.0;
+        double v = 2.0 * nextDouble() - 1.0;
+        double s2 = u * u + v * v;
+        if (s2 > 0.0 && s2 < 1.0)
+            return u * std::sqrt(-2.0 * std::log(s2) / s2);
+    }
+}
+
+namespace {
+
+/** Generalised harmonic number H_{n,theta}. */
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n_items, double theta_arg)
+    : n(n_items), theta(theta_arg)
+{
+    GRAPHABCD_ASSERT(n > 0, "ZipfSampler over an empty domain");
+    if (theta <= 0.0) {
+        alpha = zetan = eta = 0.0;
+        return;
+    }
+    // Gray's method (as popularised by the YCSB generator).
+    zetan = zeta(n, theta);
+    alpha = 1.0 / (1.0 - theta);
+    double zeta2 = zeta(2, theta);
+    eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (theta <= 0.0)
+        return rng.nextBounded(n);
+
+    double u = rng.nextDouble();
+    double uz = u * zetan;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n) *
+        std::pow(eta * u - eta + 1.0, alpha));
+    return idx >= n ? n - 1 : idx;
+}
+
+} // namespace graphabcd

@@ -1,0 +1,42 @@
+#include "support/stats.hh"
+
+#include <cstdio>
+
+namespace graphabcd {
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.scalars)
+        scalars[name] = value;
+    for (const auto &[name, dist] : other.dists)
+        dists[name].merge(dist);
+}
+
+std::vector<std::string>
+StatRegistry::dump() const
+{
+    std::vector<std::string> lines;
+    char buf[160];
+    for (const auto &[name, value] : counters) {
+        std::snprintf(buf, sizeof(buf), "%s = %llu", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        lines.emplace_back(buf);
+    }
+    for (const auto &[name, value] : scalars) {
+        std::snprintf(buf, sizeof(buf), "%s = %g", name.c_str(), value);
+        lines.emplace_back(buf);
+    }
+    for (const auto &[name, dist] : dists) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s = {n=%llu mean=%g min=%g max=%g}", name.c_str(),
+                      static_cast<unsigned long long>(dist.count()),
+                      dist.mean(), dist.min(), dist.max());
+        lines.emplace_back(buf);
+    }
+    return lines;
+}
+
+} // namespace graphabcd

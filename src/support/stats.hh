@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components (schedulers, simulator units, engines) register named
+ * counters and scalars here so that benchmarks and tests can inspect
+ * behaviour without poking at private state.  Modeled loosely after the
+ * gem5 stats package, scaled down to what this project needs.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_STATS_HH
+#define GRAPHABCD_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+/**
+ * Accumulating distribution: tracks count, sum, min, max and mean of the
+ * samples pushed into it.
+ */
+class Distribution
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double value)
+    {
+        if (count_ == 0 || value < min_)
+            min_ = value;
+        if (count_ == 0 || value > max_)
+            max_ = value;
+        sum_ += value;
+        count_++;
+    }
+
+    /** Merge another distribution into this one. */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Flat name -> value store for counters, scalars and distributions.
+ * Names are conventionally dotted paths, e.g. "harp.pe3.busy_cycles".
+ */
+class StatRegistry
+{
+  public:
+    /** Add `delta` to the named counter (creating it at zero). */
+    void
+    incr(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Set a named scalar (overwrites). */
+    void
+    set(const std::string &name, double value)
+    {
+        scalars[name] = value;
+    }
+
+    /** Push a sample into the named distribution. */
+    void
+    sample(const std::string &name, double value)
+    {
+        dists[name].sample(value);
+    }
+
+    /** @return counter value, 0 when absent. */
+    std::uint64_t
+    counter(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** @return scalar value, 0.0 when absent. */
+    double
+    scalar(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second;
+    }
+
+    /** @return distribution (empty default when absent). */
+    const Distribution &
+    distribution(const std::string &name) const
+    {
+        static const Distribution empty;
+        auto it = dists.find(name);
+        return it == dists.end() ? empty : it->second;
+    }
+
+    /** @return whether the name exists in any of the three stores. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters.count(name) || scalars.count(name) ||
+               dists.count(name);
+    }
+
+    /** Erase everything. */
+    void
+    clear()
+    {
+        counters.clear();
+        scalars.clear();
+        dists.clear();
+    }
+
+    /** Merge another registry (counters add, scalars overwrite). */
+    void merge(const StatRegistry &other);
+
+    /** @return all entries rendered as "name = value" lines, sorted. */
+    std::vector<std::string> dump() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> scalars;
+    std::map<std::string, Distribution> dists;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SUPPORT_STATS_HH

@@ -1,0 +1,152 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+Table::Table(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    GRAPHABCD_ASSERT(!header.empty(), "a table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    if (!cells.empty() && cells.back().size() != header.size()) {
+        panic("row ", cells.size() - 1, " has ", cells.back().size(),
+              " cells, expected ", header.size());
+    }
+    cells.emplace_back();
+    cells.back().reserve(header.size());
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    GRAPHABCD_ASSERT(!cells.empty(), "call row() before add()");
+    GRAPHABCD_ASSERT(cells.back().size() < header.size(),
+                     "row already full");
+    cells.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    return add(std::string(buf));
+}
+
+Table &
+Table::add(std::uint64_t value)
+{
+    return add(std::to_string(value));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == 'E' || c == 'x' ||
+              c == '%' || c == ','))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); c++)
+        widths[c] = header[c].size();
+    for (const auto &row_cells : cells) {
+        for (std::size_t c = 0; c < row_cells.size(); c++)
+            widths[c] = std::max(widths[c], row_cells[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row_cells) {
+        os << "|";
+        for (std::size_t c = 0; c < header.size(); c++) {
+            const std::string cell =
+                c < row_cells.size() ? row_cells[c] : "";
+            std::size_t pad = widths[c] - cell.size();
+            if (looksNumeric(cell)) {
+                os << ' ' << std::string(pad, ' ') << cell << " |";
+            } else {
+                os << ' ' << cell << std::string(pad, ' ') << " |";
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(header);
+    os << "|";
+    for (std::size_t c = 0; c < header.size(); c++)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << '\n';
+    for (const auto &row_cells : cells)
+        emit_row(row_cells);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row_cells) {
+        for (std::size_t c = 0; c < row_cells.size(); c++) {
+            if (c)
+                os << ',';
+            os << csvEscape(row_cells[c]);
+        }
+        os << '\n';
+    };
+    emit_row(header);
+    for (const auto &row_cells : cells)
+        emit_row(row_cells);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("cannot open '", path, "' for writing");
+    printCsv(ofs);
+}
+
+} // namespace graphabcd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table and CSV rendering for benchmark harnesses.
+ *
+ * Every bench binary reproduces a paper table or figure; this class is the
+ * single way they print rows so the output stays uniform and greppable.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_TABLE_HH
+#define GRAPHABCD_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphabcd {
+
+/**
+ * A rectangular table with a header row.  Cells are strings; numeric
+ * helpers format with sensible defaults.  Rendering right-aligns numeric-
+ * looking cells and pads to the widest cell per column.
+ */
+class Table
+{
+  public:
+    /** @param column_names header cells, fixes the column count. */
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &add(const std::string &cell);
+    Table &add(const char *cell) { return add(std::string(cell)); }
+
+    /** Append a floating-point cell with `precision` significant digits. */
+    Table &add(double value, int precision = 4);
+
+    /** Append an integer cell. */
+    Table &add(std::uint64_t value);
+    Table &add(int value) { return add(static_cast<std::uint64_t>(value)); }
+
+    /** @return number of data rows so far. */
+    std::size_t rows() const { return cells.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180 quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to the given path; parent directory must exist. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> cells;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SUPPORT_TABLE_HH

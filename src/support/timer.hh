@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Wall-clock timing helpers for benchmarks and examples.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_TIMER_HH
+#define GRAPHABCD_SUPPORT_TIMER_HH
+
+#include <chrono>
+
+namespace graphabcd {
+
+/**
+ * Monotonic stopwatch.  start() (or construction) begins a measurement;
+ * seconds()/millis() read the elapsed time without stopping it.
+ */
+class Timer
+{
+  public:
+    Timer() { start(); }
+
+    /** (Re)start the measurement from now. */
+    void start() { begin = Clock::now(); }
+
+    /** @return elapsed seconds since start(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - begin).count();
+    }
+
+    /** @return elapsed milliseconds since start(). */
+    double millis() const { return seconds() * 1e3; }
+
+    /** @return elapsed microseconds since start(). */
+    double micros() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point begin;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SUPPORT_TIMER_HH

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests of the extra algorithms (Personalized PageRank, k-core, greedy
+ * coloring) and of the edge-balanced partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/extras.hh"
+#include "algorithms/reference.hh"
+#include "core/async_engine.hh"
+#include "core/engine.hh"
+#include "graph/generators.hh"
+
+namespace graphabcd {
+namespace {
+
+TEST(PersonalizedPageRank, MassConcentratesNearTheSource)
+{
+    // A chain: PPR from vertex 0 must decay monotonically along it.
+    EdgeList el = generateChain(16);
+    BlockPartition g(el, 4);
+    EngineOptions opt;
+    opt.blockSize = 4;
+    opt.tolerance = 1e-14;
+    SerialEngine<PersonalizedPageRankProgram> engine(
+        g, PersonalizedPageRankProgram(0), opt);
+    std::vector<double> ppr;
+    EngineReport report = engine.run(ppr);
+    EXPECT_TRUE(report.converged);
+    for (VertexId v = 1; v < 16; v++)
+        EXPECT_LT(ppr[v], ppr[v - 1]);
+    EXPECT_GT(ppr[0], 0.15);   // the source keeps the teleport mass
+}
+
+TEST(PersonalizedPageRank, ZeroForUnreachableVertices)
+{
+    // Two disjoint chains; PPR from chain A never touches chain B.
+    EdgeList el(8);
+    for (VertexId v = 0; v + 1 < 4; v++)
+        el.addEdge(v, v + 1);
+    for (VertexId v = 4; v + 1 < 8; v++)
+        el.addEdge(v, v + 1);
+    BlockPartition g(el, 2);
+    EngineOptions opt;
+    opt.blockSize = 2;
+    opt.tolerance = 1e-14;
+    SerialEngine<PersonalizedPageRankProgram> engine(
+        g, PersonalizedPageRankProgram(0), opt);
+    std::vector<double> ppr;
+    engine.run(ppr);
+    for (VertexId v = 4; v < 8; v++)
+        EXPECT_DOUBLE_EQ(ppr[v], 0.0);
+}
+
+class KCoreSweep : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(KCoreSweep, MatchesPeelingReference)
+{
+    Rng rng(131);
+    EdgeList el = generateRmat(300, 2400, rng);
+    EdgeList sym = el.symmetrized();
+    BlockPartition g(sym, 32);
+    const std::uint32_t k = GetParam();
+
+    EngineOptions opt;
+    opt.blockSize = 32;
+    opt.tolerance = 0.5;
+    SerialEngine<KCoreProgram> engine(g, KCoreProgram(k), opt);
+    std::vector<double> alive;
+    EngineReport report = engine.run(alive);
+    EXPECT_TRUE(report.converged);
+
+    std::vector<double> ref = kcoreReference(sym, k);
+    for (VertexId v = 0; v < sym.numVertices(); v++)
+        EXPECT_DOUBLE_EQ(alive[v], ref[v]) << "k=" << k << " v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KCoreSweep, testing::Values(2, 3, 5, 8));
+
+TEST(KCore, CoreSizesAreNested)
+{
+    Rng rng(132);
+    EdgeList el = generateRmat(400, 4000, rng);
+    EdgeList sym = el.symmetrized();
+    BlockPartition g(sym, 32);
+    std::uint64_t prev = sym.numVertices();
+    for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+        EngineOptions opt;
+        opt.blockSize = 32;
+        opt.tolerance = 0.5;
+        SerialEngine<KCoreProgram> engine(g, KCoreProgram(k), opt);
+        std::vector<double> alive;
+        engine.run(alive);
+        std::uint64_t size = kcoreSize(alive);
+        EXPECT_LE(size, prev);   // (k+1)-core is inside the k-core
+        prev = size;
+    }
+}
+
+TEST(KCore, ThreadedAsyncAgreesWithSerial)
+{
+    Rng rng(133);
+    EdgeList el = generateRmat(256, 2000, rng);
+    EdgeList sym = el.symmetrized();
+    BlockPartition g(sym, 16);
+    EngineOptions opt;
+    opt.blockSize = 16;
+    opt.tolerance = 0.5;
+    opt.numThreads = 4;
+
+    std::vector<double> serial, threaded;
+    SerialEngine<KCoreProgram>(g, KCoreProgram(3), opt).run(serial);
+    AsyncEngine<KCoreProgram>(g, KCoreProgram(3), opt).run(threaded);
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(Coloring, ProducesAProperColoring)
+{
+    Rng rng(134);
+    EdgeList el = generateRmat(300, 2400, rng);
+    EdgeList sym = el.symmetrized();
+    BlockPartition g(sym, 32);
+    EngineOptions opt;
+    opt.blockSize = 32;
+    opt.tolerance = 0.5;
+    opt.maxEpochs = 200.0;
+    SerialEngine<ColoringProgram> engine(g, ColoringProgram(), opt);
+    std::vector<double> colors;
+    EngineReport report = engine.run(colors);
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(coloringConflicts(g, colors), 0u);
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors)
+{
+    EdgeList k5 = generateComplete(5);
+    BlockPartition g(k5, 2);
+    EngineOptions opt;
+    opt.blockSize = 2;
+    opt.tolerance = 0.5;
+    opt.maxEpochs = 100.0;
+    SerialEngine<ColoringProgram> engine(g, ColoringProgram(), opt);
+    std::vector<double> colors;
+    engine.run(colors);
+    EXPECT_EQ(coloringConflicts(g, colors), 0u);
+    std::set<std::uint32_t> used;
+    for (double c : colors)
+        used.insert(ColoringProgram::colorOf(c));
+    EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(Coloring, ChainIsTwoColorable)
+{
+    EdgeList chain = generateChain(20).symmetrized();
+    BlockPartition g(chain, 4);
+    EngineOptions opt;
+    opt.blockSize = 4;
+    opt.tolerance = 0.5;
+    opt.maxEpochs = 100.0;
+    SerialEngine<ColoringProgram> engine(g, ColoringProgram(), opt);
+    std::vector<double> colors;
+    engine.run(colors);
+    EXPECT_EQ(coloringConflicts(g, colors), 0u);
+    for (double c : colors)
+        EXPECT_LE(ColoringProgram::colorOf(c), 1u);
+}
+
+// ------------------------------------------- edge-balanced partitions
+
+TEST(EdgeBalanced, BlocksHoldRoughlyTheTargetEdgeCount)
+{
+    Rng rng(135);
+    EdgeList el = generateRmat(2048, 32768, rng);
+    BlockPartition g(el, 1024, BlockPartition::EdgeBalanced{});
+    EXPECT_GT(g.numBlocks(), 8u);
+    // Every block except possibly hub-dominated ones lands near target.
+    for (BlockId b = 0; b + 1 < g.numBlocks(); b++)
+        EXPECT_GE(g.blockEdgeCount(b), 1024u);
+}
+
+TEST(EdgeBalanced, StructuralInvariantsStillHold)
+{
+    Rng rng(136);
+    EdgeList el = generateRmat(512, 8192, rng);
+    BlockPartition g(el, 512, BlockPartition::EdgeBalanced{});
+    // Tiling and blockOf consistency.
+    VertexId covered = 0;
+    for (BlockId b = 0; b < g.numBlocks(); b++) {
+        for (VertexId v = g.blockBegin(b); v < g.blockEnd(b); v++)
+            EXPECT_EQ(g.blockOf(v), b);
+        covered += g.blockVertexCount(b);
+    }
+    EXPECT_EQ(covered, el.numVertices());
+    EXPECT_EQ(g.numEdges(), el.numEdges());
+}
+
+TEST(EdgeBalanced, EnginesConvergeOnIt)
+{
+    Rng rng(137);
+    EdgeList el = generateRmat(512, 8192, rng);
+    BlockPartition g(el, 512, BlockPartition::EdgeBalanced{});
+    EngineOptions opt;
+    opt.blockSize = g.blockSize();
+    opt.tolerance = 1e-12;
+    SerialEngine<PageRankProgram> engine(g, PageRankProgram(0.85), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.converged);
+    std::vector<double> ref = pagerankReference(el, 0.85);
+    for (VertexId v = 0; v < el.numVertices(); v++)
+        EXPECT_NEAR(x[v], ref[v], 1e-7);
+}
+
+TEST(EdgeBalanced, ReducesBlockLoadImbalance)
+{
+    // On a skewed graph, fixed-size blocks have wildly varying edge
+    // counts; edge-balanced blocks must shrink the max/mean ratio.
+    Rng rng(138);
+    EdgeList el = generateRmat(4096, 65536, rng);
+
+    auto imbalance = [](const BlockPartition &g) {
+        EdgeId max_edges = 0, total = 0;
+        for (BlockId b = 0; b < g.numBlocks(); b++) {
+            max_edges = std::max(max_edges, g.blockEdgeCount(b));
+            total += g.blockEdgeCount(b);
+        }
+        double mean =
+            static_cast<double>(total) / std::max(1u, g.numBlocks());
+        return static_cast<double>(max_edges) / mean;
+    };
+
+    BlockPartition fixed(el, 256);
+    BlockPartition balanced(
+        el, fixed.numBlocks() ? 65536 / fixed.numBlocks() : 4096,
+        BlockPartition::EdgeBalanced{});
+    EXPECT_LT(imbalance(balanced), imbalance(fixed));
+}
+
+} // namespace
+} // namespace graphabcd

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests of the graph substrate: edge lists, CSR, generators, I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "graph/csr.hh"
+#include "graph/datasets.hh"
+#include "graph/edge_list.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "graph/stats.hh"
+#include "support/logging.hh"
+
+namespace graphabcd {
+namespace {
+
+TEST(EdgeList, AddAndCount)
+{
+    EdgeList el(4);
+    el.addEdge(0, 1);
+    el.addEdge(1, 2, 2.5f);
+    EXPECT_EQ(el.numVertices(), 4u);
+    EXPECT_EQ(el.numEdges(), 2u);
+    EXPECT_FLOAT_EQ(el.edge(1).weight, 2.5f);
+}
+
+TEST(EdgeList, OutOfRangeEndpointPanics)
+{
+    EdgeList el(2);
+    EXPECT_THROW(el.addEdge(0, 5), PanicError);
+}
+
+TEST(EdgeList, NormalizeSortsAndDedups)
+{
+    EdgeList el(3);
+    el.addEdge(2, 0);
+    el.addEdge(0, 1);
+    el.addEdge(2, 0);   // duplicate
+    el.normalize(true);
+    ASSERT_EQ(el.numEdges(), 2u);
+    EXPECT_EQ(el.edge(0).src, 0u);
+    EXPECT_EQ(el.edge(1).src, 2u);
+}
+
+TEST(EdgeList, RemoveSelfLoops)
+{
+    EdgeList el(3);
+    el.addEdge(1, 1);
+    el.addEdge(0, 2);
+    el.removeSelfLoops();
+    ASSERT_EQ(el.numEdges(), 1u);
+    EXPECT_EQ(el.edge(0).dst, 2u);
+}
+
+TEST(EdgeList, ReversedFlipsEveryEdge)
+{
+    EdgeList el(3);
+    el.addEdge(0, 1, 3.0f);
+    EdgeList rev = el.reversed();
+    EXPECT_EQ(rev.edge(0).src, 1u);
+    EXPECT_EQ(rev.edge(0).dst, 0u);
+    EXPECT_FLOAT_EQ(rev.edge(0).weight, 3.0f);
+}
+
+TEST(EdgeList, SymmetrizedHasBothDirections)
+{
+    EdgeList el(3);
+    el.addEdge(0, 1);
+    el.addEdge(1, 0);   // already present both ways
+    el.addEdge(1, 2);
+    EdgeList sym = el.symmetrized();
+    EXPECT_EQ(sym.numEdges(), 4u);   // (0,1),(1,0),(1,2),(2,1)
+}
+
+TEST(EdgeList, DegreesMatchHandCount)
+{
+    EdgeList el(4);
+    el.addEdge(0, 1);
+    el.addEdge(0, 2);
+    el.addEdge(3, 2);
+    auto outd = el.outDegrees();
+    auto ind = el.inDegrees();
+    EXPECT_EQ(outd[0], 2u);
+    EXPECT_EQ(outd[3], 1u);
+    EXPECT_EQ(ind[2], 2u);
+    EXPECT_EQ(ind[0], 0u);
+}
+
+TEST(Csr, BySourceRowsAreOutNeighbors)
+{
+    EdgeList el(4);
+    el.addEdge(1, 0, 5.0f);
+    el.addEdge(1, 3, 6.0f);
+    el.addEdge(2, 1);
+    Csr out(el, Csr::Axis::BySource);
+    EXPECT_EQ(out.degree(1), 2u);
+    auto nbrs = out.neighbors(1);
+    EXPECT_EQ(nbrs[0], 0u);
+    EXPECT_EQ(nbrs[1], 3u);
+    EXPECT_FLOAT_EQ(out.weights(1)[1], 6.0f);
+    EXPECT_EQ(out.degree(0), 0u);
+}
+
+TEST(Csr, ByDestinationRowsAreInNeighbors)
+{
+    EdgeList el(4);
+    el.addEdge(1, 0);
+    el.addEdge(2, 0);
+    Csr in(el, Csr::Axis::ByDestination);
+    EXPECT_EQ(in.degree(0), 2u);
+    EXPECT_EQ(in.neighbors(0)[0], 1u);
+    EXPECT_EQ(in.neighbors(0)[1], 2u);
+}
+
+TEST(Csr, EdgeCountConserved)
+{
+    Rng rng(3);
+    EdgeList el = generateErdosRenyi(100, 500, rng);
+    Csr out(el, Csr::Axis::BySource);
+    Csr in(el, Csr::Axis::ByDestination);
+    EXPECT_EQ(out.numEdges(), 500u);
+    EXPECT_EQ(in.numEdges(), 500u);
+    std::uint64_t total = 0;
+    for (VertexId v = 0; v < 100; v++)
+        total += out.degree(v);
+    EXPECT_EQ(total, 500u);
+}
+
+TEST(Generators, RmatShapeAndDeterminism)
+{
+    Rng rng1(42), rng2(42);
+    EdgeList a = generateRmat(1000, 5000, rng1);
+    EdgeList b = generateRmat(1000, 5000, rng2);
+    EXPECT_EQ(a.numVertices(), 1000u);
+    EXPECT_EQ(a.numEdges(), 5000u);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId e = 0; e < a.numEdges(); e++)
+        EXPECT_EQ(a.edge(e), b.edge(e));
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    Rng rng(42);
+    EdgeList el = generateRmat(4096, 40960, rng);
+    auto deg = el.inDegrees();
+    auto max_deg = *std::max_element(deg.begin(), deg.end());
+    double mean = 40960.0 / 4096.0;
+    // A power-law graph has hubs far above the mean degree.
+    EXPECT_GT(max_deg, mean * 10);
+}
+
+TEST(Generators, RmatExcludesSelfLoopsByDefault)
+{
+    Rng rng(5);
+    EdgeList el = generateRmat(256, 2048, rng);
+    for (const Edge &e : el.edges())
+        EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Generators, ChainAndCycle)
+{
+    EdgeList chain = generateChain(5);
+    EXPECT_EQ(chain.numEdges(), 4u);
+    EdgeList cycle = generateCycle(5);
+    EXPECT_EQ(cycle.numEdges(), 5u);
+    EXPECT_EQ(cycle.edge(4).src, 4u);
+    EXPECT_EQ(cycle.edge(4).dst, 0u);
+}
+
+TEST(Generators, StarHubOutDegree)
+{
+    EdgeList star = generateStar(10);
+    auto outd = star.outDegrees();
+    EXPECT_EQ(outd[0], 9u);
+    EXPECT_EQ(star.numEdges(), 9u);
+}
+
+TEST(Generators, Grid2dDegreesAndSymmetry)
+{
+    Rng rng(1);
+    EdgeList grid = generateGrid2d(3, 4, rng);
+    // 2 * (#horizontal + #vertical) = 2 * (3*3 + 2*4) = 34 edges.
+    EXPECT_EQ(grid.numEdges(), 34u);
+    auto outd = grid.outDegrees();
+    auto ind = grid.inDegrees();
+    for (VertexId v = 0; v < 12; v++)
+        EXPECT_EQ(outd[v], ind[v]);
+    EXPECT_EQ(outd[0], 2u);    // corner
+    EXPECT_EQ(outd[5], 4u);    // interior
+}
+
+TEST(Generators, CompleteGraph)
+{
+    EdgeList k4 = generateComplete(4);
+    EXPECT_EQ(k4.numEdges(), 12u);
+}
+
+TEST(Generators, RatingsAreBipartiteAndInRange)
+{
+    Rng rng(8);
+    BipartiteGraph bg = generateRatings(50, 20, 1000, rng);
+    EXPECT_EQ(bg.graph.numVertices(), 70u);
+    EXPECT_EQ(bg.graph.numEdges(), 1000u);
+    for (const Edge &e : bg.graph.edges()) {
+        EXPECT_LT(e.src, 50u);              // user side
+        EXPECT_GE(e.dst, 50u);              // item side
+        EXPECT_GE(e.weight, 1.0f);
+        EXPECT_LE(e.weight, 5.0f);
+    }
+}
+
+TEST(Generators, RatingsHaveSkewedItemPopularity)
+{
+    Rng rng(9);
+    BipartiteGraph bg = generateRatings(200, 500, 20000, rng);
+    auto ind = bg.graph.inDegrees();
+    std::vector<std::uint32_t> item_deg(ind.begin() + 200, ind.end());
+    std::sort(item_deg.rbegin(), item_deg.rend());
+    std::uint64_t top10 = std::accumulate(item_deg.begin(),
+                                          item_deg.begin() + 50, 0ull);
+    // Top 10% of items should hold well over 10% of ratings.
+    EXPECT_GT(top10, 20000ull / 5);
+}
+
+TEST(Io, RoundTripPreservesGraph)
+{
+    Rng rng(4);
+    EdgeList el = generateErdosRenyi(50, 200, rng, /*weighted=*/true);
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_test.el";
+    saveEdgeList(el, path);
+    EdgeList loaded = loadEdgeList(path, /*densify=*/false);
+    ASSERT_EQ(loaded.numEdges(), el.numEdges());
+    for (EdgeId e = 0; e < el.numEdges(); e++) {
+        EXPECT_EQ(loaded.edge(e).src, el.edge(e).src);
+        EXPECT_EQ(loaded.edge(e).dst, el.edge(e).dst);
+        EXPECT_NEAR(loaded.edge(e).weight, el.edge(e).weight, 1e-4);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Io, DensifyRemapsSparseIds)
+{
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_sparse.el";
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("# comment\n100 200\n200 300\n", f);
+        std::fclose(f);
+    }
+    EdgeList el = loadEdgeList(path, /*densify=*/true);
+    EXPECT_EQ(el.numVertices(), 3u);
+    EXPECT_EQ(el.numEdges(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRoundTripIsExact)
+{
+    Rng rng(44);
+    EdgeList el = generateRmat(200, 1500, rng, {.weighted = true});
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_test.bin";
+    saveEdgeListBinary(el, path);
+    EdgeList loaded = loadEdgeListBinary(path);
+    ASSERT_EQ(loaded.numVertices(), el.numVertices());
+    ASSERT_EQ(loaded.numEdges(), el.numEdges());
+    for (EdgeId e = 0; e < el.numEdges(); e++)
+        EXPECT_EQ(loaded.edge(e), el.edge(e));
+    std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsBadMagic)
+{
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_bad.bin";
+    {
+        std::ofstream ofs(path, std::ios::binary);
+        ofs << "not a graph at all, sorry";
+    }
+    EXPECT_THROW(loadEdgeListBinary(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Io, BinaryDetectsTruncation)
+{
+    Rng rng(45);
+    EdgeList el = generateErdosRenyi(50, 400, rng);
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_trunc.bin";
+    saveEdgeListBinary(el, path);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    EXPECT_THROW(loadEdgeListBinary(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadEdgeList("/nonexistent/nowhere.el"), FatalError);
+}
+
+TEST(Stats, HandComputedGraph)
+{
+    EdgeList el(5);
+    el.addEdge(0, 1);
+    el.addEdge(0, 2);
+    el.addEdge(1, 2);
+    el.addEdge(3, 3);   // self loop; vertex 4 isolated
+    GraphStats s = computeGraphStats(el);
+    EXPECT_EQ(s.numVertices, 5u);
+    EXPECT_EQ(s.numEdges, 4u);
+    EXPECT_EQ(s.maxOutDegree, 2u);
+    EXPECT_EQ(s.maxInDegree, 2u);
+    EXPECT_EQ(s.danglingVertices, 2u);   // 2 and 4
+    EXPECT_EQ(s.isolatedVertices, 1u);   // 4
+    EXPECT_DOUBLE_EQ(s.selfLoopFraction, 0.25);
+    EXPECT_FALSE(s.toString().empty());
+}
+
+TEST(Stats, GiniOrdersRegularBelowSkewed)
+{
+    Rng rng(46);
+    GraphStats ring = computeGraphStats(generateCycle(1000));
+    GraphStats skewed =
+        computeGraphStats(generateRmat(1024, 8192, rng));
+    EXPECT_NEAR(ring.inDegreeGini, 0.0, 1e-9);   // perfectly regular
+    EXPECT_GT(skewed.inDegreeGini, 0.4);         // hub concentration
+}
+
+TEST(Stats, EmptyGraphIsSafe)
+{
+    GraphStats s = computeGraphStats(EdgeList(0));
+    EXPECT_EQ(s.numVertices, 0u);
+    EXPECT_DOUBLE_EQ(s.inDegreeGini, 0.0);
+}
+
+TEST(Datasets, CatalogHasSevenPaperGraphs)
+{
+    EXPECT_EQ(datasetCatalog().size(), 7u);
+    EXPECT_EQ(datasetInfo("lj").paperName, "LiveJournal");
+    EXPECT_TRUE(datasetInfo("NF").bipartite);
+    EXPECT_THROW(datasetInfo("XX"), FatalError);
+}
+
+TEST(Datasets, StandInsPreserveEdgeVertexRatio)
+{
+    Dataset wt = makeDataset("WT", /*scale=*/0.5, /*seed=*/1);
+    const DatasetInfo &info = wt.info;
+    double paper_ratio = static_cast<double>(info.paperEdges) /
+                         static_cast<double>(info.paperVertices);
+    double ours = static_cast<double>(wt.numEdges()) /
+                  static_cast<double>(wt.numVertices());
+    EXPECT_NEAR(ours, paper_ratio, paper_ratio * 0.1);
+}
+
+TEST(Datasets, BipartiteStandInHasUsersAndItems)
+{
+    Dataset sac = makeDataset("SAC", 0.25, 1);
+    EXPECT_GT(sac.users, 0u);
+    EXPECT_GT(sac.items, 0u);
+    EXPECT_EQ(sac.numVertices(), sac.users + sac.items);
+}
+
+TEST(Datasets, DeterministicPerSeed)
+{
+    Dataset a = makeDataset("WT", 0.1, 99);
+    Dataset b = makeDataset("WT", 0.1, 99);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId e = 0; e < std::min<EdgeId>(a.numEdges(), 100); e++)
+        EXPECT_EQ(a.graph.edge(e), b.graph.edge(e));
+}
+
+} // namespace
+} // namespace graphabcd

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests of the HARP simulator building blocks: the bandwidth
+ * resource, the event queue, the tagged reduction unit and the
+ * Graphicionado projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harp/bus.hh"
+#include "harp/event_queue.hh"
+#include "harp/graphicionado.hh"
+#include "harp/reduction.hh"
+#include "support/random.hh"
+
+namespace graphabcd {
+namespace {
+
+TEST(Bus, TransfersSerialise)
+{
+    Bus bus(100.0);   // 100 B/s for easy arithmetic
+    BusGrant a = bus.transfer(0.0, 50);   // 0.0 .. 0.5
+    EXPECT_DOUBLE_EQ(a.start, 0.0);
+    EXPECT_DOUBLE_EQ(a.end, 0.5);
+    BusGrant b = bus.transfer(0.1, 100);  // queued behind a
+    EXPECT_DOUBLE_EQ(b.start, 0.5);
+    EXPECT_DOUBLE_EQ(b.end, 1.5);
+    BusGrant c = bus.transfer(3.0, 100);  // idle gap before c
+    EXPECT_DOUBLE_EQ(c.start, 3.0);
+    EXPECT_DOUBLE_EQ(c.end, 4.0);
+}
+
+TEST(Bus, AccountsBusyTimeAndBytes)
+{
+    Bus bus(1000.0);
+    bus.transfer(0.0, 500);
+    bus.transfer(10.0, 500);
+    EXPECT_DOUBLE_EQ(bus.busySeconds(), 1.0);
+    EXPECT_EQ(bus.transferredBytes(), 1000u);
+    EXPECT_NEAR(bus.utilization(20.0), 0.05, 1e-12);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(2.0, [&order] { order.push_back(2); });
+    q.schedule(1.0, [&order] { order.push_back(1); });
+    q.schedule(3.0, [&order] { order.push_back(3); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; i++)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] {
+        fired++;
+        q.schedule(q.now() + 1.0, [&] { fired++; });
+    });
+    q.runToCompletion();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(5.0, [&q] {
+        EXPECT_THROW(q.schedule(1.0, [] {}), PanicError);
+    });
+    q.runToCompletion();
+}
+
+TEST(Reduction, MatchesSequentialSum)
+{
+    TaggedReductionUnit<double> unit(
+        [](const double &a, const double &b) { return a + b; });
+
+    Rng rng(81);
+    std::vector<std::pair<std::uint32_t, double>> stream;
+    std::unordered_map<std::uint32_t, std::uint32_t> expected;
+    std::unordered_map<std::uint32_t, double> truth;
+    for (int i = 0; i < 1000; i++) {
+        auto tag = static_cast<std::uint32_t>(rng.nextBounded(37));
+        double value = rng.nextDouble();
+        stream.emplace_back(tag, value);
+        expected[tag]++;
+        truth[tag] += value;
+    }
+    // Shuffle: the unit must not care about arrival order.
+    std::shuffle(stream.begin(), stream.end(), rng);
+
+    ReductionStats stats;
+    auto result = unit.reduce(stream, expected, &stats);
+    ASSERT_EQ(result.size(), truth.size());
+    for (const auto &[tag, value] : truth)
+        EXPECT_NEAR(result.at(tag), value, 1e-9) << "tag " << tag;
+}
+
+TEST(Reduction, MinReductionWorks)
+{
+    TaggedReductionUnit<double> unit(
+        [](const double &a, const double &b) { return std::min(a, b); });
+    std::vector<std::pair<std::uint32_t, double>> stream{
+        {0, 5.0}, {0, 2.0}, {1, 9.0}, {0, 7.0}};
+    std::unordered_map<std::uint32_t, std::uint32_t> expected{{0, 3},
+                                                              {1, 1}};
+    auto result = unit.reduce(stream, expected);
+    EXPECT_DOUBLE_EQ(result.at(0), 2.0);
+    EXPECT_DOUBLE_EQ(result.at(1), 9.0);
+}
+
+TEST(Reduction, ThroughputIsOneOperandPerCycle)
+{
+    // n operands of one tag need n-1 combines; every combine re-injects
+    // one operand, so cycles = (n + n-1) + latency — independent of the
+    // combine latency showing up per-operand (the design's point).
+    TaggedReductionUnit<double> unit(
+        [](const double &a, const double &b) { return a + b; },
+        /*latency_cycles=*/16);
+    const std::uint32_t n = 64;
+    std::vector<std::pair<std::uint32_t, double>> stream;
+    for (std::uint32_t i = 0; i < n; i++)
+        stream.emplace_back(0, 1.0);
+    std::unordered_map<std::uint32_t, std::uint32_t> expected{{0, n}};
+    ReductionStats stats;
+    auto result = unit.reduce(stream, expected, &stats);
+    EXPECT_DOUBLE_EQ(result.at(0), static_cast<double>(n));
+    EXPECT_EQ(stats.reductions, n - 1);
+    EXPECT_EQ(stats.cycles, (2ull * n - 1) + 16);
+}
+
+TEST(Reduction, ScratchpadPeakBoundedByTagCount)
+{
+    TaggedReductionUnit<double> unit(
+        [](const double &a, const double &b) { return a + b; });
+    std::vector<std::pair<std::uint32_t, double>> stream;
+    std::unordered_map<std::uint32_t, std::uint32_t> expected;
+    for (std::uint32_t tag = 0; tag < 10; tag++) {
+        stream.emplace_back(tag, 1.0);
+        stream.emplace_back(tag, 2.0);
+        expected[tag] = 2;
+    }
+    ReductionStats stats;
+    unit.reduce(stream, expected, &stats);
+    EXPECT_LE(stats.peakScratchpad, 10u);
+    EXPECT_GE(stats.peakScratchpad, 1u);
+}
+
+TEST(Graphicionado, BandwidthBoundScaling)
+{
+    graphmat::GraphMatReport run;
+    run.iterations = 10;
+    run.edgesProcessed = 10ull * 1000000;
+    GraphicionadoConfig narrow;      // 12.8 GB/s (paper projection)
+    GraphicionadoConfig wideCfg;
+    wideCfg.bandwidth = 68e9;        // original design point
+    auto projected = graphicionadoTime(run, 100000, 8, narrow);
+    auto original = graphicionadoTime(run, 100000, 8, wideCfg);
+    EXPECT_GT(projected.seconds, original.seconds * 2.0);
+    EXPECT_GT(projected.mtes, 0.0);
+}
+
+TEST(Graphicionado, IterationsPassThrough)
+{
+    graphmat::GraphMatReport run;
+    run.iterations = 28;
+    run.edgesProcessed = 28ull * 68990000 / 48;
+    auto r = graphicionadoTime(run, 4850000 / 48, 8);
+    EXPECT_EQ(r.iterations, 28u);
+    EXPECT_GT(r.seconds, 0.0);
+}
+
+} // namespace
+} // namespace graphabcd

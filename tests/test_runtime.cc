@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the runtime substrate: task queue, SPSC ring, thread pool,
+ * spin barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/spsc_ring.hh"
+#include "runtime/task_queue.hh"
+#include "runtime/thread_pool.hh"
+
+namespace graphabcd {
+namespace {
+
+TEST(TaskQueue, FifoOrderSingleThread)
+{
+    TaskQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TaskQueue, TryOpsrespectCapacity)
+{
+    TaskQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));   // full
+    EXPECT_EQ(q.tryPop(), 1);
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(TaskQueue, CloseDrainsThenEnds)
+{
+    TaskQueue<int> q;
+    q.push(7);
+    q.close();
+    EXPECT_FALSE(q.push(8));       // rejected after close
+    EXPECT_EQ(q.pop(), 7);         // drain
+    EXPECT_EQ(q.pop(), std::nullopt);
+    EXPECT_TRUE(q.isClosed());
+}
+
+TEST(TaskQueue, MpmcConservesItems)
+{
+    TaskQueue<int> q(64);
+    constexpr int producers = 3, consumers = 3, per_producer = 2000;
+    std::atomic<long long> sum{0};
+    std::atomic<int> popped{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; p++) {
+        threads.emplace_back([&q, p] {
+            for (int i = 0; i < per_producer; i++)
+                q.push(p * per_producer + i);
+        });
+    }
+    for (int c = 0; c < consumers; c++) {
+        threads.emplace_back([&] {
+            while (auto v = q.pop()) {
+                sum += *v;
+                popped++;
+            }
+        });
+    }
+    for (int p = 0; p < producers; p++)
+        threads[p].join();
+    q.close();
+    for (int c = 0; c < consumers; c++)
+        threads[producers + c].join();
+
+    const long long n = producers * per_producer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(SpscRing, FifoAndCapacity)
+{
+    SpscRing<int> ring(3);
+    EXPECT_TRUE(ring.tryPush(1));
+    EXPECT_TRUE(ring.tryPush(2));
+    EXPECT_TRUE(ring.tryPush(3));
+    EXPECT_FALSE(ring.tryPush(4));   // full
+    EXPECT_EQ(ring.tryPop(), 1);
+    EXPECT_TRUE(ring.tryPush(4));
+    EXPECT_EQ(ring.tryPop(), 2);
+    EXPECT_EQ(ring.tryPop(), 3);
+    EXPECT_EQ(ring.tryPop(), 4);
+    EXPECT_EQ(ring.tryPop(), std::nullopt);
+}
+
+TEST(SpscRing, ProducerConsumerStress)
+{
+    SpscRing<int> ring(16);
+    constexpr int items = 100000;
+    long long sum = 0;
+
+    std::thread producer([&ring] {
+        for (int i = 0; i < items;) {
+            if (ring.tryPush(i))
+                i++;
+            else
+                std::this_thread::yield();
+        }
+    });
+    int received = 0;
+    while (received < items) {
+        if (auto v = ring.tryPop()) {
+            sum += *v;
+            received++;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_EQ(sum, static_cast<long long>(items) * (items - 1) / 2);
+}
+
+TEST(ThreadPool, RunsEverySubmittedClosure)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; i++)
+        pool.submit([&count] { count++; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, DrainIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count++; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count++; });
+    pool.submit([&count] { count++; });
+    pool.drain();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(SpinBarrier, SynchronisesPhases)
+{
+    constexpr int nthreads = 4, rounds = 50;
+    SpinBarrier barrier(nthreads);
+    std::atomic<int> phase_counter{0};
+    std::atomic<bool> violation{false};
+
+    auto worker = [&] {
+        for (int r = 0; r < rounds; r++) {
+            phase_counter++;
+            barrier.arriveAndWait();
+            // After the barrier every participant of round r has
+            // incremented: the counter must be a multiple boundary.
+            if (phase_counter.load() < (r + 1) * nthreads)
+                violation = true;
+            barrier.arriveAndWait();
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; t++)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(violation.load());
+    EXPECT_EQ(phase_counter.load(), nthreads * rounds);
+}
+
+} // namespace
+} // namespace graphabcd

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the block schedulers: cyclic order, Gauss-Southwell priority
+ * order, random coverage, activation/deactivation bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scheduler.hh"
+
+namespace graphabcd {
+namespace {
+
+TEST(Cyclic, SweepsInIdOrder)
+{
+    CyclicScheduler s(4);
+    for (BlockId b = 0; b < 4; b++)
+        s.activate(b, 1.0);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), 1u);
+    EXPECT_EQ(s.next(), 2u);
+    EXPECT_EQ(s.next(), 3u);
+    EXPECT_EQ(s.next(), std::nullopt);
+}
+
+TEST(Cyclic, ResumesFromCursorNotFromZero)
+{
+    CyclicScheduler s(4);
+    s.activate(0, 1.0);
+    s.activate(1, 1.0);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), 1u);
+    s.activate(0, 1.0);
+    s.activate(3, 1.0);
+    // Cursor sits at 2, so 3 comes before the wrap-around to 0.
+    EXPECT_EQ(s.next(), 3u);
+    EXPECT_EQ(s.next(), 0u);
+}
+
+TEST(Cyclic, DoubleActivationIsIdempotent)
+{
+    CyclicScheduler s(2);
+    s.activate(1, 1.0);
+    s.activate(1, 1.0);
+    EXPECT_EQ(s.activeCount(), 1u);
+    EXPECT_EQ(s.next(), 1u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Priority, PicksLargestGradientFirst)
+{
+    PriorityScheduler s(4);
+    s.activate(0, 1.0);
+    s.activate(1, 5.0);
+    s.activate(2, 3.0);
+    EXPECT_EQ(s.next(), 1u);
+    EXPECT_EQ(s.next(), 2u);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Priority, DeltasAccumulate)
+{
+    PriorityScheduler s(3);
+    s.activate(0, 2.0);
+    s.activate(1, 3.0);
+    s.activate(0, 2.0);   // 0 now has 4.0 > 3.0
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), 1u);
+}
+
+TEST(Priority, ProcessingResetsPriority)
+{
+    PriorityScheduler s(2);
+    s.activate(0, 10.0);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_DOUBLE_EQ(s.priority(0), 0.0);
+    s.activate(0, 1.0);
+    s.activate(1, 2.0);
+    EXPECT_EQ(s.next(), 1u);   // old 10.0 must not linger
+}
+
+TEST(Priority, StaleHeapEntriesAreSkipped)
+{
+    PriorityScheduler s(3);
+    for (int round = 0; round < 100; round++) {
+        s.activate(0, 1.0);
+        s.activate(1, 0.5);
+        EXPECT_EQ(s.next(), 0u);
+        EXPECT_EQ(s.next(), 1u);
+        EXPECT_EQ(s.next(), std::nullopt);
+    }
+}
+
+TEST(Random, CoversAllActiveBlocks)
+{
+    RandomScheduler s(8, /*seed=*/5);
+    for (BlockId b = 0; b < 8; b++)
+        s.activate(b, 1.0);
+    std::set<BlockId> seen;
+    while (auto b = s.next())
+        seen.insert(*b);
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, DeterministicPerSeed)
+{
+    RandomScheduler a(16, 7), b(16, 7);
+    for (BlockId i = 0; i < 16; i++) {
+        a.activate(i, 1.0);
+        b.activate(i, 1.0);
+    }
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, ActivationIdempotent)
+{
+    RandomScheduler s(4, 1);
+    s.activate(2, 1.0);
+    s.activate(2, 1.0);
+    EXPECT_EQ(s.activeCount(), 1u);
+}
+
+TEST(Factory, BuildsTheRequestedKind)
+{
+    EXPECT_EQ(makeScheduler(Schedule::Cyclic, 4, 1)->kind(),
+              Schedule::Cyclic);
+    EXPECT_EQ(makeScheduler(Schedule::Priority, 4, 1)->kind(),
+              Schedule::Priority);
+    EXPECT_EQ(makeScheduler(Schedule::Random, 4, 1)->kind(),
+              Schedule::Random);
+}
+
+TEST(Factory, NamesRoundTrip)
+{
+    EXPECT_STREQ(to_string(Schedule::Cyclic), "cyclic");
+    EXPECT_STREQ(to_string(Schedule::Priority), "priority");
+    EXPECT_STREQ(to_string(ExecMode::Async), "async");
+    EXPECT_STREQ(to_string(ExecMode::Bsp), "bsp");
+}
+
+} // namespace
+} // namespace graphabcd
