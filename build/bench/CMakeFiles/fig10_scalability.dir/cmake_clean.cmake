@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scalability.dir/fig10_scalability.cc.o"
+  "CMakeFiles/fig10_scalability.dir/fig10_scalability.cc.o.d"
+  "fig10_scalability"
+  "fig10_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_convergence.dir/fig4_convergence.cc.o"
+  "CMakeFiles/fig4_convergence.dir/fig4_convergence.cc.o.d"
+  "fig4_convergence"
+  "fig4_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cf_rmse.dir/fig5_cf_rmse.cc.o"
+  "CMakeFiles/fig5_cf_rmse.dir/fig5_cf_rmse.cc.o.d"
+  "fig5_cf_rmse"
+  "fig5_cf_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cf_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hw_accel.dir/fig6_hw_accel.cc.o"
+  "CMakeFiles/fig6_hw_accel.dir/fig6_hw_accel.cc.o.d"
+  "fig6_hw_accel"
+  "fig6_hw_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hw_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

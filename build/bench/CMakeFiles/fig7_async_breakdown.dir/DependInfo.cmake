@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_async_breakdown.cc" "bench/CMakeFiles/fig7_async_breakdown.dir/fig7_async_breakdown.cc.o" "gcc" "bench/CMakeFiles/fig7_async_breakdown.dir/fig7_async_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/abcd_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/harp/CMakeFiles/abcd_harp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/graphmat/CMakeFiles/abcd_graphmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/abcd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abcd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/abcd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

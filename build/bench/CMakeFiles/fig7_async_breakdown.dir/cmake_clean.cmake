@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_async_breakdown.dir/fig7_async_breakdown.cc.o"
+  "CMakeFiles/fig7_async_breakdown.dir/fig7_async_breakdown.cc.o.d"
+  "fig7_async_breakdown"
+  "fig7_async_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_async_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

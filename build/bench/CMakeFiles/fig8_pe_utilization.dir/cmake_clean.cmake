@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pe_utilization.dir/fig8_pe_utilization.cc.o"
+  "CMakeFiles/fig8_pe_utilization.dir/fig8_pe_utilization.cc.o.d"
+  "fig8_pe_utilization"
+  "fig8_pe_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pe_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

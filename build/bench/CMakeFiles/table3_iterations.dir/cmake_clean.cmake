@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_iterations.dir/table3_iterations.cc.o"
+  "CMakeFiles/table3_iterations.dir/table3_iterations.cc.o.d"
+  "table3_iterations"
+  "table3_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

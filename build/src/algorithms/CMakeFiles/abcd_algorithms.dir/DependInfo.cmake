@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/extras.cc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/extras.cc.o" "gcc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/extras.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/reference.cc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/reference.cc.o" "gcc" "src/algorithms/CMakeFiles/abcd_algorithms.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/abcd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abcd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/abcd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

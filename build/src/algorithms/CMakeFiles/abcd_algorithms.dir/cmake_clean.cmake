@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_algorithms.dir/extras.cc.o"
+  "CMakeFiles/abcd_algorithms.dir/extras.cc.o.d"
+  "CMakeFiles/abcd_algorithms.dir/pagerank.cc.o"
+  "CMakeFiles/abcd_algorithms.dir/pagerank.cc.o.d"
+  "CMakeFiles/abcd_algorithms.dir/reference.cc.o"
+  "CMakeFiles/abcd_algorithms.dir/reference.cc.o.d"
+  "libabcd_algorithms.a"
+  "libabcd_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_graphmat.dir/cpu_model.cc.o"
+  "CMakeFiles/abcd_graphmat.dir/cpu_model.cc.o.d"
+  "libabcd_graphmat.a"
+  "libabcd_graphmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_graphmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_core.dir/options.cc.o"
+  "CMakeFiles/abcd_core.dir/options.cc.o.d"
+  "CMakeFiles/abcd_core.dir/scheduler.cc.o"
+  "CMakeFiles/abcd_core.dir/scheduler.cc.o.d"
+  "libabcd_core.a"
+  "libabcd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_graph.dir/csr.cc.o"
+  "CMakeFiles/abcd_graph.dir/csr.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/datasets.cc.o"
+  "CMakeFiles/abcd_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/edge_list.cc.o"
+  "CMakeFiles/abcd_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/generators.cc.o"
+  "CMakeFiles/abcd_graph.dir/generators.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/io.cc.o"
+  "CMakeFiles/abcd_graph.dir/io.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/partition.cc.o"
+  "CMakeFiles/abcd_graph.dir/partition.cc.o.d"
+  "CMakeFiles/abcd_graph.dir/stats.cc.o"
+  "CMakeFiles/abcd_graph.dir/stats.cc.o.d"
+  "libabcd_graph.a"
+  "libabcd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

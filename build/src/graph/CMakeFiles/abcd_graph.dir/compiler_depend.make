@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abcd_graph.
+# This may be replaced when dependencies are built.

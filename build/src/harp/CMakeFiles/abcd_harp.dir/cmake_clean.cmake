@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_harp.dir/graphicionado.cc.o"
+  "CMakeFiles/abcd_harp.dir/graphicionado.cc.o.d"
+  "libabcd_harp.a"
+  "libabcd_harp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_harp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/abcd_runtime.dir/thread_pool.cc.o.d"
+  "libabcd_runtime.a"
+  "libabcd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

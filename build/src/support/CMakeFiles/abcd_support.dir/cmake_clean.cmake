@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_support.dir/flags.cc.o"
+  "CMakeFiles/abcd_support.dir/flags.cc.o.d"
+  "CMakeFiles/abcd_support.dir/logging.cc.o"
+  "CMakeFiles/abcd_support.dir/logging.cc.o.d"
+  "CMakeFiles/abcd_support.dir/random.cc.o"
+  "CMakeFiles/abcd_support.dir/random.cc.o.d"
+  "CMakeFiles/abcd_support.dir/stats.cc.o"
+  "CMakeFiles/abcd_support.dir/stats.cc.o.d"
+  "CMakeFiles/abcd_support.dir/table.cc.o"
+  "CMakeFiles/abcd_support.dir/table.cc.o.d"
+  "CMakeFiles/abcd_support.dir/units.cc.o"
+  "CMakeFiles/abcd_support.dir/units.cc.o.d"
+  "libabcd_support.a"
+  "libabcd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

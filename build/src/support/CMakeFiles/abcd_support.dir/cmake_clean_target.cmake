@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabcd_support.a"
+)

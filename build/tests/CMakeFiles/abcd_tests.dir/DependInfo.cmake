@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_async_engine.cc" "tests/CMakeFiles/abcd_tests.dir/test_async_engine.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_async_engine.cc.o.d"
+  "/root/repo/tests/test_cf.cc" "tests/CMakeFiles/abcd_tests.dir/test_cf.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_cf.cc.o.d"
+  "/root/repo/tests/test_delta_lp.cc" "tests/CMakeFiles/abcd_tests.dir/test_delta_lp.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_delta_lp.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/abcd_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_extras.cc" "tests/CMakeFiles/abcd_tests.dir/test_extras.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_extras.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/abcd_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_graphmat.cc" "tests/CMakeFiles/abcd_tests.dir/test_graphmat.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_graphmat.cc.o.d"
+  "/root/repo/tests/test_harp_system.cc" "tests/CMakeFiles/abcd_tests.dir/test_harp_system.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_harp_system.cc.o.d"
+  "/root/repo/tests/test_harp_units.cc" "tests/CMakeFiles/abcd_tests.dir/test_harp_units.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_harp_units.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/abcd_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/abcd_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/abcd_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_scaleout.cc" "tests/CMakeFiles/abcd_tests.dir/test_scaleout.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_scaleout.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/abcd_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sim_conservation.cc" "tests/CMakeFiles/abcd_tests.dir/test_sim_conservation.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_sim_conservation.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/abcd_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/abcd_tests.dir/test_support.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/abcd_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/harp/CMakeFiles/abcd_harp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/graphmat/CMakeFiles/abcd_graphmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/abcd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/abcd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/abcd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(abcd_tests "/root/repo/build/tests/abcd_tests")
+set_tests_properties(abcd_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;20;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_route_planner "/root/repo/build/examples/route_planner" "--rows" "40" "--cols" "40")
+set_tests_properties(example_route_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_recommender "/root/repo/build/examples/recommender" "--users" "300" "--movies" "80" "--ratings" "9000" "--epochs" "10")
+set_tests_properties(example_recommender PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_community_detection "/root/repo/build/examples/community_detection")
+set_tests_properties(example_community_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_web_ranking "/root/repo/build/examples/web_ranking" "--scale" "0.2")
+set_tests_properties(example_web_ranking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_pagerank "/root/repo/build/tools/abcd_cli" "--algo" "pr" "--dataset" "WT" "--scale" "0.1" "--engine" "sim")
+set_tests_properties(cli_pagerank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sssp_async "/root/repo/build/tools/abcd_cli" "--algo" "sssp" "--dataset" "PS" "--scale" "0.1" "--engine" "async")
+set_tests_properties(cli_sssp_async PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_kcore "/root/repo/build/tools/abcd_cli" "--algo" "kcore" "--dataset" "WT" "--scale" "0.1" "--k" "4")
+set_tests_properties(cli_kcore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcd_cli.dir/abcd_cli.cc.o"
+  "CMakeFiles/abcd_cli.dir/abcd_cli.cc.o.d"
+  "abcd_cli"
+  "abcd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
