@@ -93,10 +93,20 @@ class AsyncEngine
     initState()
     {
         const VertexId n = graph.numVertices();
+        const bool warm = [&] {
+            if constexpr (std::is_same_v<Value, double>)
+                return options.warmStart && options.warmStart->size() == n;
+            else
+                return false;
+        }();
         values = std::vector<std::atomic<Value>>(n);
         edgeValues = std::vector<std::atomic<Value>>(graph.numEdges());
         for (VertexId v = 0; v < n; v++) {
             Value init = program.init(v, graph);
+            if constexpr (std::is_same_v<Value, double>) {
+                if (warm)
+                    init = (*options.warmStart)[v];
+            }
             values[v].store(init, std::memory_order_relaxed);
             Value ev = program.edgeValue(v, init, graph);
             for (EdgeId pos : graph.scatterPositions(v))
@@ -174,16 +184,29 @@ class AsyncEngine
         auto worker = [&] {
             std::vector<std::pair<BlockId, double>> activations;
             while (auto b = work.pop()) {
-                auto [chg, l1] = processAndCommit(*b, activations);
-                (void)chg;
-                (void)l1;
-                vertex_updates.fetch_add(graph.blockVertexCount(*b),
-                                         std::memory_order_relaxed);
-                block_updates.fetch_add(1, std::memory_order_relaxed);
-                edge_traversals.fetch_add(graph.blockEdgeCount(*b),
-                                          std::memory_order_relaxed);
-                scatter_writes.fetch_add(activations.size(),
-                                         std::memory_order_relaxed);
+                // Cooperative cancellation: a stopped worker still
+                // drains its queue entries (the inflight accounting
+                // must balance) but skips the GAS work, so all workers
+                // wind down within one block of the stop request.
+                if (options.stop.stopRequested()) {
+                    activations.clear();
+                } else {
+                    auto [chg, l1] = processAndCommit(*b, activations);
+                    (void)chg;
+                    (void)l1;
+                    vertex_updates.fetch_add(graph.blockVertexCount(*b),
+                                             std::memory_order_relaxed);
+                    block_updates.fetch_add(1, std::memory_order_relaxed);
+                    edge_traversals.fetch_add(graph.blockEdgeCount(*b),
+                                              std::memory_order_relaxed);
+                    scatter_writes.fetch_add(activations.size(),
+                                             std::memory_order_relaxed);
+                    if (options.progress) {
+                        options.progress->accumulate(
+                            graph.blockVertexCount(*b), 1,
+                            graph.blockEdgeCount(*b));
+                    }
+                }
                 {
                     std::lock_guard<std::mutex> lock(ctl);
                     for (auto &[dst, delta] : activations)
@@ -206,6 +229,10 @@ class AsyncEngine
         {
             std::unique_lock<std::mutex> lock(ctl);
             for (;;) {
+                if (options.stop.stopRequested()) {
+                    report.stopped = true;
+                    break;
+                }
                 if (vertex_updates.load(std::memory_order_relaxed) >=
                     max_updates)
                     break;
@@ -236,6 +263,8 @@ class AsyncEngine
         for (auto &t : threads)
             t.join();
 
+        if (options.stop.stopRequested())
+            report.stopped = true;
         report.vertexUpdates = vertex_updates.load();
         report.blockUpdates = block_updates.load();
         report.edgeTraversals = edge_traversals.load();
@@ -243,7 +272,10 @@ class AsyncEngine
         report.epochs = static_cast<double>(report.vertexUpdates) / n;
         {
             std::lock_guard<std::mutex> lock(ctl);
-            report.converged = sched->empty();
+            // A stopped run never claims convergence: workers drop (not
+            // reactivate) the blocks they skip, so an empty scheduler
+            // does not mean quiescence here.
+            report.converged = !report.stopped && sched->empty();
         }
         return report;
     }
@@ -263,6 +295,10 @@ class AsyncEngine
         std::vector<BlockId> wave;
         std::vector<BlockUpdate<Value>> updates;
         while (!sched->empty()) {
+            if (options.stop.stopRequested()) {
+                report.stopped = true;
+                break;
+            }
             wave.clear();
             while (auto b = sched->next())
                 wave.push_back(*b);
@@ -290,10 +326,15 @@ class AsyncEngine
                 commitUpdate(wave[i], updates[i], *sched, report);
             }
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            if (options.progress) {
+                options.progress->publish(report.vertexUpdates,
+                                          report.blockUpdates,
+                                          report.edgeTraversals);
+            }
             if (report.epochs >= options.maxEpochs)
                 break;
         }
-        report.converged = sched->empty();
+        report.converged = !report.stopped && sched->empty();
         return report;
     }
 

@@ -22,6 +22,7 @@
 #define GRAPHABCD_CORE_ENGINE_HH
 
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "core/options.hh"
@@ -49,7 +50,8 @@ struct EngineReport
     std::uint64_t edgeTraversals = 0;
     std::uint64_t scatterWrites = 0;
     bool converged = false;       //!< quiescent before maxEpochs
-    double seconds = 0.0;         //!< host wall-clock of the run
+    bool stopped = false;         //!< ended early by EngineOptions::stop
+    double seconds = 0.0;         //!< host wall-clock (monotonic) of the run
     std::vector<TracePoint> trace;
 };
 
@@ -113,12 +115,27 @@ class SerialEngine
         const StopFn &stop_fn = nullptr)
     {
         BcdState<Program> state(graph, program);
+        if constexpr (std::is_same_v<Value, double>) {
+            if (options.warmStart &&
+                options.warmStart->size() == graph.numVertices())
+                state.setValues(graph, program, *options.warmStart);
+        }
         EngineReport report = run(state, trace_fn, stop_fn);
         out_values = state.values();
         return report;
     }
 
   private:
+    /** Publish live counters for serve-layer status snapshots. */
+    void
+    publishProgress(const EngineReport &report) const
+    {
+        if (options.progress) {
+            options.progress->publish(report.vertexUpdates,
+                                      report.blockUpdates,
+                                      report.edgeTraversals);
+        }
+    }
     /** Initial activation: every block at the same large priority. */
     void
     seedScheduler(BlockScheduler &sched) const
@@ -168,6 +185,11 @@ class SerialEngine
             report.vertexUpdates += update.newValues.size();
             report.edgeTraversals += graph.blockEdgeCount(*b);
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            publishProgress(report);
+            if (options.stop.stopRequested()) {
+                report.stopped = true;
+                break;
+            }
             if (maybeTrace(report, state, trace_fn, stop_fn, next_trace,
                            update.l1Delta)) {
                 report.converged = true;
@@ -224,6 +246,11 @@ class SerialEngine
                 wave_delta += update.l1Delta;
             }
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            publishProgress(report);
+            if (options.stop.stopRequested()) {
+                report.stopped = true;
+                break;
+            }
             if (maybeTrace(report, state, trace_fn, stop_fn, next_trace,
                            wave_delta)) {
                 report.converged = true;

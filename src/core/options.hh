@@ -8,8 +8,11 @@
 #define GRAPHABCD_CORE_OPTIONS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/stop_token.hh"
 #include "graph/types.hh"
 
 namespace graphabcd {
@@ -80,6 +83,33 @@ struct EngineOptions
      * epochs (0 disables tracing).  Used by the Fig. 4/5 harnesses.
      */
     double traceInterval = 0.0;
+
+    // ------------------------------------------------- serve-layer hooks
+    // These do not change what fixpoint a run converges to, only how a
+    // run is observed or ended early; the ResultCache fingerprint
+    // (serve/runner) therefore excludes them.
+
+    /**
+     * Cooperative cancellation: every engine polls this at block-update
+     * granularity and ends the run (EngineReport::stopped) when it
+     * fires.  Default-constructed = never fires.
+     */
+    StopToken stop;
+
+    /**
+     * Optional live work counters the engine publishes into while
+     * running, for lock-free status snapshots from other threads.
+     */
+    std::shared_ptr<Progress> progress;
+
+    /**
+     * Optional warm-start values (one per vertex): engines whose Value
+     * is double seed the run from these instead of Program::init(),
+     * letting a re-submitted job resume from a cached fixpoint (the
+     * Maiter-style accumulative-iteration motivation).  Ignored when
+     * null or when the size does not match |V|.
+     */
+    std::shared_ptr<const std::vector<double>> warmStart;
 };
 
 } // namespace graphabcd

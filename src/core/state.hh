@@ -62,6 +62,26 @@ class BcdState
         }
     }
 
+    /**
+     * Seed the run from explicit per-vertex values (warm start): adopt
+     * `init` and re-derive every edge-carried copy, exactly as reset()
+     * does from Program::init().  `init.size()` must equal |V|.
+     */
+    void
+    setValues(const BlockPartition &g, const Program &p,
+              std::vector<Value> init)
+    {
+        GRAPHABCD_ASSERT(init.size() == g.numVertices(),
+                         "warm-start size must match |V|");
+        values_ = std::move(init);
+        edgeValues_.resize(g.numEdges());
+        for (VertexId v = 0; v < g.numVertices(); v++) {
+            Value ev = p.edgeValue(v, values_[v], g);
+            for (EdgeId pos : g.scatterPositions(v))
+                edgeValues_[pos] = ev;
+        }
+    }
+
     const std::vector<Value> &values() const { return values_; }
     std::vector<Value> &values() { return values_; }
 

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cooperative cancellation and progress observation for engine runs.
+ *
+ * The serve layer (src/serve) turns one-shot engine runs into managed
+ * jobs; that needs two hooks plumbed through every engine:
+ *
+ *  - a StopToken the engine polls at block-update granularity.  A token
+ *    combines a shared cancel flag (set by JobManager::cancel or
+ *    service shutdown) with an optional monotonic-clock deadline, so
+ *    per-job timeouts need no extra timer thread.  Polling per block
+ *    keeps the hot loop branch-predictable: one relaxed atomic load and
+ *    (only when a deadline is armed) one steady_clock read.
+ *
+ *  - a Progress sink of relaxed atomic counters the engine publishes
+ *    into as it works, so JobStatus snapshots are readable from any
+ *    thread while the run is in flight, without locks on the data path.
+ *
+ * Both are optional: a default-constructed StopToken never fires and a
+ * null Progress pointer disables publishing, so standalone engine users
+ * pay nothing.
+ */
+
+#ifndef GRAPHABCD_CORE_STOP_TOKEN_HH
+#define GRAPHABCD_CORE_STOP_TOKEN_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace graphabcd {
+
+/**
+ * View side of a cancellation channel.  Copyable and cheap; safe to
+ * poll from any thread.  A default-constructed token never requests a
+ * stop (unless a deadline is armed via withDeadline()).
+ */
+class StopToken
+{
+  public:
+    StopToken() = default;
+
+    /** @return whether this token could ever fire. */
+    bool
+    stopPossible() const
+    {
+        return flag_ != nullptr || hasDeadline();
+    }
+
+    /** @return whether the run should end now (cancel or deadline). */
+    bool
+    stopRequested() const
+    {
+        if (flag_ && flag_->load(std::memory_order_acquire))
+            return true;
+        return hasDeadline() && Clock::now() >= deadline_;
+    }
+
+    /** @return whether the deadline (not the cancel flag) has fired. */
+    bool
+    deadlineExpired() const
+    {
+        return hasDeadline() && Clock::now() >= deadline_;
+    }
+
+    /**
+     * @return a copy of this token that additionally fires
+     * `seconds_from_now` from the moment of this call.
+     */
+    StopToken
+    withDeadline(double seconds_from_now) const
+    {
+        StopToken t(*this);
+        t.deadline_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds_from_now));
+        return t;
+    }
+
+  private:
+    friend class StopSource;
+
+    using Clock = std::chrono::steady_clock;
+
+    explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag)
+        : flag_(std::move(flag))
+    {
+    }
+
+    bool
+    hasDeadline() const
+    {
+        return deadline_ != Clock::time_point::max();
+    }
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+    Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/**
+ * Owner side of a cancellation channel.  requestStop() is sticky and
+ * idempotent; every token handed out observes it.
+ */
+class StopSource
+{
+  public:
+    StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void
+    requestStop()
+    {
+        flag_->store(true, std::memory_order_release);
+    }
+
+    bool
+    stopRequested() const
+    {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    /** @return a token observing this source (no deadline). */
+    StopToken token() const { return StopToken(flag_); }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/**
+ * Live work counters an engine publishes while running.  All stores and
+ * loads are relaxed: snapshots are monitoring data, not synchronisation.
+ */
+struct Progress
+{
+    std::atomic<std::uint64_t> vertexUpdates{0};
+    std::atomic<std::uint64_t> blockUpdates{0};
+    std::atomic<std::uint64_t> edgeTraversals{0};
+
+    /** Publish absolute totals (single-writer engines). */
+    void
+    publish(std::uint64_t vertex_updates, std::uint64_t block_updates,
+            std::uint64_t edge_traversals)
+    {
+        vertexUpdates.store(vertex_updates, std::memory_order_relaxed);
+        blockUpdates.store(block_updates, std::memory_order_relaxed);
+        edgeTraversals.store(edge_traversals, std::memory_order_relaxed);
+    }
+
+    /** Add per-block increments (multi-writer engines). */
+    void
+    accumulate(std::uint64_t vertex_updates, std::uint64_t block_updates,
+               std::uint64_t edge_traversals)
+    {
+        vertexUpdates.fetch_add(vertex_updates, std::memory_order_relaxed);
+        blockUpdates.fetch_add(block_updates, std::memory_order_relaxed);
+        edgeTraversals.fetch_add(edge_traversals,
+                                 std::memory_order_relaxed);
+    }
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_CORE_STOP_TOKEN_HH

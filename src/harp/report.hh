@@ -24,6 +24,7 @@ struct SimReport
     std::uint64_t edgeTraversals = 0;
     std::uint64_t scatterWrites = 0;
     bool converged = false;
+    bool stopped = false;        //!< ended early by EngineOptions::stop
 
     // ----------------------------------------------------- throughput
     double mtes = 0.0;           //!< million traversed edges / second

@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/options.hh"
@@ -87,6 +88,12 @@ class HarpSystem
     {
         Timer wall;
         state = std::make_unique<BcdState<Program>>(graph, program);
+        if constexpr (std::is_same_v<Value, double>) {
+            if (engineOpt.warmStart &&
+                engineOpt.warmStart->size() == graph.numVertices()) {
+                state->setValues(graph, program, *engineOpt.warmStart);
+            }
+        }
         sched = makeScheduler(engineOpt.schedule, graph.numBlocks(),
                               engineOpt.seed);
         for (BlockId b = 0; b < graph.numBlocks(); b++)
@@ -113,7 +120,8 @@ class HarpSystem
         report.hostSeconds = wall.seconds();
         report.epochs = static_cast<double>(report.vertexUpdates) /
                         std::max<double>(graph.numVertices(), 1.0);
-        report.converged = stopped || sched->empty();
+        report.stopped = cancelled;
+        report.converged = !cancelled && (stopped || sched->empty());
         if (horizon > 0.0) {
             report.mtes = static_cast<double>(report.edgeTraversals) /
                           horizon / 1e6;
@@ -173,7 +181,7 @@ class HarpSystem
     void
     trySchedule()
     {
-        if (stopped)
+        if (checkCancelled() || stopped)
             return;
         std::size_t window = dispatchWindow();
         if (engineOpt.mode == ExecMode::Barrier) {
@@ -417,6 +425,11 @@ class HarpSystem
         report.edgeTraversals += graph.blockEdgeCount(task.block);
         inflight--;
         endTime = std::max(endTime, now);
+        if (engineOpt.progress) {
+            engineOpt.progress->publish(report.vertexUpdates,
+                                        report.blockUpdates,
+                                        report.edgeTraversals);
+        }
         checkStop();
         if (engineOpt.mode == ExecMode::Barrier) {
             // The wave's memory barrier: dispatching resumes only after
@@ -437,7 +450,7 @@ class HarpSystem
     void
     startWave()
     {
-        if (stopped || maxedOut())
+        if (checkCancelled() || stopped || maxedOut())
             return;
         bool any = false;
         while (auto b = sched->next()) {
@@ -474,6 +487,19 @@ class HarpSystem
     }
 
     // ---------------------------------------------------- termination
+
+    /**
+     * Poll the serve-layer stop token (cancellation / deadline).  Once
+     * it fires no further work is dispatched; in-flight events drain
+     * and the event loop winds down.
+     */
+    bool
+    checkCancelled()
+    {
+        if (!cancelled && engineOpt.stop.stopRequested())
+            cancelled = true;
+        return cancelled;
+    }
 
     void
     checkStop()
@@ -517,7 +543,8 @@ class HarpSystem
 
     std::uint64_t inflight = 0;
     double endTime = 0.0;
-    bool stopped = false;
+    bool stopped = false;      //!< StopFn convergence fired
+    bool cancelled = false;    //!< EngineOptions::stop fired
     double nextTrace = 1.0;
     StopFn stopFn;
 

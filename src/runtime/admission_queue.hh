@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded priority admission queue — the serve layer's front door.
+ *
+ * Unlike TaskQueue (FIFO, producers block when full), an admission
+ * queue must give *backpressure*: when the service is saturated a new
+ * job is rejected immediately (`tryPush` returns false, surfaced to the
+ * client as QueueFull) rather than parked on a blocking push, so the
+ * submitting thread can shed load or retry with its own policy.
+ * Dequeue order is highest priority first, FIFO among equal priorities
+ * (a submission sequence number breaks ties), so latency-sensitive jobs
+ * overtake batch work without starving same-priority peers.
+ */
+
+#ifndef GRAPHABCD_RUNTIME_ADMISSION_QUEUE_HH
+#define GRAPHABCD_RUNTIME_ADMISSION_QUEUE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace graphabcd {
+
+/**
+ * Blocking-consumer / rejecting-producer bounded priority queue with
+ * TaskQueue-compatible close() semantics: after close(), pushes fail
+ * and consumers drain the backlog, then see std::nullopt.
+ */
+template <typename T>
+class AdmissionQueue
+{
+  public:
+    /** @param capacity maximum queued items; 0 means unbounded. */
+    explicit AdmissionQueue(std::size_t capacity) : cap(capacity) {}
+
+    AdmissionQueue(const AdmissionQueue &) = delete;
+    AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+    /**
+     * Admit an item, never blocking.
+     * @param priority larger dequeues first.
+     * @return false when the queue is full (backpressure) or closed.
+     */
+    bool
+    tryPush(T item, double priority)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (closed || (cap != 0 && heap.size() >= cap))
+                return false;
+            heap.push_back(Entry{priority, nextSeq++, std::move(item)});
+            std::push_heap(heap.begin(), heap.end());
+        }
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained.
+     * @return the highest-priority item, or std::nullopt on shutdown.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notEmpty.wait(lock, [this] { return closed || !heap.empty(); });
+        if (heap.empty())
+            return std::nullopt;
+        std::pop_heap(heap.begin(), heap.end());
+        T item = std::move(heap.back().item);
+        heap.pop_back();
+        return item;
+    }
+
+    /** Non-blocking dequeue; std::nullopt when currently empty. */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (heap.empty())
+            return std::nullopt;
+        std::pop_heap(heap.begin(), heap.end());
+        T item = std::move(heap.back().item);
+        heap.pop_back();
+        return item;
+    }
+
+    /** Reject subsequent pushes; consumers drain then see nullopt. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            closed = true;
+        }
+        notEmpty.notify_all();
+    }
+
+    /** @return current backlog length (racy, for stats only). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return heap.size();
+    }
+
+    /** @return whether close() has been called. */
+    bool
+    isClosed() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return closed;
+    }
+
+    /** @return configured capacity (0 = unbounded). */
+    std::size_t capacity() const { return cap; }
+
+  private:
+    struct Entry
+    {
+        double priority;
+        std::uint64_t seq;
+        T item;
+
+        bool
+        operator<(const Entry &other) const
+        {
+            // Max-heap on priority; FIFO (smaller seq first) within a
+            // priority class.
+            if (priority != other.priority)
+                return priority < other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    const std::size_t cap;
+    mutable std::mutex mtx;
+    std::condition_variable notEmpty;
+    std::vector<Entry> heap;   //!< std::*_heap managed
+    std::uint64_t nextSeq = 0;
+    bool closed = false;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_RUNTIME_ADMISSION_QUEUE_HH

@@ -1,0 +1,109 @@
+#include "serve/graph_registry.hh"
+
+#include "support/fingerprint.hh"
+
+namespace graphabcd {
+
+namespace {
+
+/**
+ * Content-sampled identity of a partition: name-independent sizes plus
+ * up to 64 evenly spaced edge records.  Two different graphs colliding
+ * requires equal vertex/edge/block counts *and* equal samples — good
+ * enough to key a cache that only ever trades a miss for a collision.
+ */
+std::uint64_t
+graphFingerprint(const std::string &name, const BlockPartition &g)
+{
+    Fingerprint fp;
+    fp.mix(std::string_view(name));
+    fp.mix(static_cast<std::uint64_t>(g.numVertices()));
+    fp.mix(static_cast<std::uint64_t>(g.numEdges()));
+    fp.mix(static_cast<std::uint64_t>(g.numBlocks()));
+    fp.mix(static_cast<std::uint64_t>(g.blockSize()));
+    const EdgeId n = g.numEdges();
+    const EdgeId stride = std::max<EdgeId>(1, n / 64);
+    for (EdgeId e = 0; e < n; e += stride) {
+        fp.mix(static_cast<std::uint64_t>(g.edgeSrc(e)));
+        fp.mix(static_cast<std::uint64_t>(g.edgeDst(e)));
+        fp.mix(static_cast<double>(g.edgeWeight(e)));
+    }
+    return fp.value();
+}
+
+} // namespace
+
+std::shared_ptr<const BlockPartition>
+GraphRegistry::add(const std::string &name, const EdgeList &el,
+                   VertexId block_size)
+{
+    // Build outside the lock: partitioning a large graph must not
+    // stall lookups for running jobs.
+    return add(name, std::make_shared<const BlockPartition>(el,
+                                                            block_size));
+}
+
+std::shared_ptr<const BlockPartition>
+GraphRegistry::add(const std::string &name,
+                   std::shared_ptr<const BlockPartition> graph)
+{
+    Entry entry;
+    entry.fingerprint = graphFingerprint(name, *graph);
+    entry.graph = std::move(graph);
+    std::lock_guard<std::mutex> lock(mtx);
+    auto &slot = entries[name];
+    slot = std::move(entry);
+    return slot.graph;
+}
+
+std::shared_ptr<const BlockPartition>
+GraphRegistry::get(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(name);
+    return it == entries.end() ? nullptr : it->second.graph;
+}
+
+std::uint64_t
+GraphRegistry::fingerprint(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = entries.find(name);
+    return it == entries.end() ? 0 : it->second.fingerprint;
+}
+
+bool
+GraphRegistry::remove(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return entries.erase(name) > 0;
+}
+
+std::vector<GraphRegistry::GraphInfo>
+GraphRegistry::list() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<GraphInfo> out;
+    out.reserve(entries.size());
+    for (const auto &[name, entry] : entries) {
+        GraphInfo info;
+        info.name = name;
+        info.vertices = entry.graph->numVertices();
+        info.edges = entry.graph->numEdges();
+        info.blocks = entry.graph->numBlocks();
+        info.blockSize = entry.graph->blockSize();
+        info.fingerprint = entry.fingerprint;
+        info.useCount = entry.graph.use_count();
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::size_t
+GraphRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return entries.size();
+}
+
+} // namespace graphabcd

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * GraphRegistry — named, shared, immutable graphs for the serve layer.
+ *
+ * A production service cannot reload a multi-gigabyte graph per query.
+ * GraphABCD's BlockPartition is immutable after construction (all
+ * mutable run state lives in BcdState / the engines), so one in-memory
+ * partition can back any number of concurrent jobs.  The registry maps
+ * names to `shared_ptr<const BlockPartition>`: jobs hold a reference
+ * for the duration of their run, and remove() only drops the registry's
+ * own reference — in-flight jobs keep the graph alive until they
+ * finish, so unloading is always safe.
+ *
+ * Each entry also carries a content-sampled fingerprint used as the
+ * graph component of ResultCache keys: re-registering a *different*
+ * graph under an old name changes the fingerprint, so stale cached
+ * results can never be served for the new graph.
+ */
+
+#ifndef GRAPHABCD_SERVE_GRAPH_REGISTRY_HH
+#define GRAPHABCD_SERVE_GRAPH_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hh"
+#include "graph/partition.hh"
+
+namespace graphabcd {
+
+/** Thread-safe name -> shared immutable BlockPartition map. */
+class GraphRegistry
+{
+  public:
+    /** Summary of one registered graph (for LIST-style introspection). */
+    struct GraphInfo
+    {
+        std::string name;
+        VertexId vertices = 0;
+        EdgeId edges = 0;
+        BlockId blocks = 0;
+        VertexId blockSize = 0;
+        std::uint64_t fingerprint = 0;
+        long useCount = 0;   //!< outstanding handles incl. the registry's
+    };
+
+    /**
+     * Partition `el` and register it under `name`, replacing any
+     * previous binding (jobs running on the old graph keep their
+     * handle).
+     * @return the new shared partition.
+     */
+    std::shared_ptr<const BlockPartition>
+    add(const std::string &name, const EdgeList &el, VertexId block_size);
+
+    /** Register an already-built partition under `name`. */
+    std::shared_ptr<const BlockPartition>
+    add(const std::string &name,
+        std::shared_ptr<const BlockPartition> graph);
+
+    /** @return the partition bound to `name`, or nullptr. */
+    std::shared_ptr<const BlockPartition> get(const std::string &name)
+        const;
+
+    /** @return the graph fingerprint of `name`, or 0 when absent. */
+    std::uint64_t fingerprint(const std::string &name) const;
+
+    /**
+     * Drop the registry's reference to `name`.
+     * @return whether the name was bound.
+     */
+    bool remove(const std::string &name);
+
+    /** @return summaries of every registered graph, sorted by name. */
+    std::vector<GraphInfo> list() const;
+
+    /** @return number of registered graphs. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const BlockPartition> graph;
+        std::uint64_t fingerprint = 0;
+    };
+
+    mutable std::mutex mtx;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SERVE_GRAPH_REGISTRY_HH

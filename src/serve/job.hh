@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Job model of the serve layer: what a client submits, what the
+ * service reports back, and the service-wide configuration/metrics
+ * records.
+ *
+ * A job is one analytics request — (graph, algorithm, engine, options)
+ * — with a priority, an optional deadline, and a lifecycle
+ *     Queued -> Running -> Done | Cancelled | Failed
+ * observable at any time through JobStatus snapshots.  Submissions the
+ * admission queue rejects never become jobs at all (backpressure).
+ */
+
+#ifndef GRAPHABCD_SERVE_JOB_HH
+#define GRAPHABCD_SERVE_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/options.hh"
+#include "graph/types.hh"
+
+namespace graphabcd {
+
+/** Service-wide job identifier; 0 is never a valid id. */
+using JobId = std::uint64_t;
+
+/** Lifecycle of a job. */
+enum class JobState
+{
+    Queued,      //!< admitted, waiting for a service worker
+    Running,     //!< an engine is executing it
+    Done,        //!< finished (from an engine run or the result cache)
+    Cancelled,   //!< ended by cancel(), deadline, or service shutdown
+    Failed,      //!< the request could not be executed
+};
+
+/** @return human-readable name of a JobState. */
+const char *to_string(JobState state);
+
+/** @return whether a state is terminal. */
+inline bool
+isTerminal(JobState state)
+{
+    return state == JobState::Done || state == JobState::Cancelled ||
+           state == JobState::Failed;
+}
+
+/** Why a submission was not admitted. */
+enum class SubmitError
+{
+    None,          //!< admitted (or served directly from the cache)
+    QueueFull,     //!< admission queue saturated — retry later
+    UnknownGraph,  //!< no such name in the GraphRegistry
+    BadRequest,    //!< unsupported algorithm/engine combination
+    ShuttingDown,  //!< the service is stopping
+};
+
+/** @return human-readable name of a SubmitError. */
+const char *to_string(SubmitError error);
+
+/** One analytics request. */
+struct JobRequest
+{
+    std::string graph;            //!< GraphRegistry name
+    std::string algo = "pr";      //!< pr | ppr | sssp | bfs | cc | lp
+    std::string engine = "serial"; //!< serial | async | sim
+    VertexId source = 0;          //!< sssp / bfs / ppr source vertex
+    EngineOptions options;        //!< run knobs (blockSize is taken
+                                  //!< from the registered partition)
+    double priority = 0.0;        //!< larger runs first
+    double timeoutSeconds = 0.0;  //!< from submission; 0 = no deadline
+    bool allowCached = true;      //!< serve an identical cached result
+    bool allowWarmStart = true;   //!< seed from a cached family fixpoint
+};
+
+/** Final output of a job: per-vertex values plus the run accounting. */
+struct JobResult
+{
+    std::vector<double> values;
+    EngineReport report;
+};
+
+/** Point-in-time view of a job, snapshotable while it runs. */
+struct JobStatus
+{
+    JobId id = 0;
+    JobState state = JobState::Queued;
+    double priority = 0.0;
+
+    // Live work counters (from the engine's Progress sink while
+    // Running; from the final report once terminal).
+    double epochs = 0.0;
+    std::uint64_t blockUpdates = 0;
+    std::uint64_t edgeTraversals = 0;
+
+    double queuedSeconds = 0.0;   //!< time spent waiting for a worker
+    double runSeconds = 0.0;      //!< time spent executing so far
+
+    bool cacheHit = false;        //!< served from the ResultCache
+    bool warmStarted = false;     //!< seeded from a cached fixpoint
+    bool converged = false;       //!< meaningful once Done
+    std::string error;            //!< set when Cancelled/Failed
+};
+
+/** Sizing knobs of a JobManager. */
+struct ServeConfig
+{
+    std::uint32_t workers = 2;       //!< service worker threads
+    std::size_t queueCapacity = 16;  //!< admission queue bound
+    std::size_t cacheCapacity = 64;  //!< ResultCache entries
+    double cacheTtlSeconds = 300.0;  //!< ResultCache entry lifetime
+
+    /**
+     * Terminal jobs retained for status()/result() queries; beyond
+     * this the oldest terminal records are pruned so a long-lived
+     * service's job table stays bounded.
+     */
+    std::size_t maxRetainedJobs = 1024;
+};
+
+/** Monotonic service counters plus instantaneous gauges. */
+struct ServeStats
+{
+    std::uint64_t submitted = 0;   //!< submit() calls
+    std::uint64_t rejected = 0;    //!< not admitted (any SubmitError)
+    std::uint64_t completed = 0;   //!< reached Done
+    std::uint64_t cancelled = 0;   //!< reached Cancelled
+    std::uint64_t failed = 0;      //!< reached Failed
+    std::uint64_t cacheHits = 0;   //!< jobs served from the ResultCache
+    std::uint64_t warmStarts = 0;  //!< jobs seeded from a cached fixpoint
+    std::size_t queueDepth = 0;    //!< gauge: jobs waiting
+    std::size_t running = 0;       //!< gauge: jobs executing now
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SERVE_JOB_HH

@@ -1,0 +1,411 @@
+#include "serve/job_manager.hh"
+
+#include <chrono>
+
+#include "serve/runner.hh"
+#include "support/timer.hh"
+
+namespace graphabcd {
+
+const char *
+to_string(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:    return "queued";
+      case JobState::Running:   return "running";
+      case JobState::Done:      return "done";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Failed:    return "failed";
+    }
+    return "?";
+}
+
+const char *
+to_string(SubmitError error)
+{
+    switch (error) {
+      case SubmitError::None:         return "None";
+      case SubmitError::QueueFull:    return "QueueFull";
+      case SubmitError::UnknownGraph: return "UnknownGraph";
+      case SubmitError::BadRequest:   return "BadRequest";
+      case SubmitError::ShuttingDown: return "ShuttingDown";
+    }
+    return "?";
+}
+
+JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
+    : registry_(registry), cfg_(config),
+      cache_(config.cacheCapacity, config.cacheTtlSeconds),
+      queue_(config.queueCapacity)
+{
+    workers_.reserve(cfg_.workers);
+    for (std::uint32_t i = 0; i < std::max(1u, cfg_.workers); i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    shutdown();
+}
+
+JobManager::Submitted
+JobManager::submit(JobRequest req)
+{
+    auto reject = [this](SubmitError error) {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stats_.submitted++;
+        stats_.rejected++;
+        return Submitted{0, error};
+    };
+
+    if (shutdown_.load(std::memory_order_acquire))
+        return reject(SubmitError::ShuttingDown);
+    std::string why;
+    if (!isRunnable(req, &why))
+        return reject(SubmitError::BadRequest);
+    auto graph = registry_.get(req.graph);
+    if (!graph)
+        return reject(SubmitError::UnknownGraph);
+
+    // Normalise: the partition's geometry is fixed at LOAD time, and
+    // the fingerprint must reflect the geometry actually run.
+    req.options.blockSize = graph->blockSize();
+
+    auto job = std::make_shared<Job>();
+    job->id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    job->graph = std::move(graph);
+    const std::uint64_t graph_fp = registry_.fingerprint(req.graph);
+    job->key = jobFingerprint(graph_fp, req);
+    job->familyKey = jobFamilyFingerprint(graph_fp, req);
+    job->progress = std::make_shared<Progress>();
+    job->submittedAt = monotonicSeconds();
+
+    // Arm the cooperative stop: cancel() + optional deadline measured
+    // from submission, so time spent queued counts against the budget.
+    StopToken token = job->stop.token();
+    if (req.timeoutSeconds > 0.0)
+        token = token.withDeadline(req.timeoutSeconds);
+    req.options.stop = token;
+    req.options.progress = job->progress;
+    job->req = std::move(req);
+
+    // Fast path: an identical job already converged — answer from the
+    // cache without consuming a queue slot or a worker.
+    if (job->req.allowCached) {
+        if (auto cached = cache_.get(job->key)) {
+            job->cacheHit = true;
+            job->result = std::move(cached);
+            job->startedAt = job->finishedAt = monotonicSeconds();
+            job->state.store(JobState::Done, std::memory_order_release);
+            std::lock_guard<std::mutex> lock(mtx_);
+            stats_.submitted++;
+            stats_.completed++;
+            stats_.cacheHits++;
+            jobs_.emplace(job->id, job);
+            return Submitted{job->id, SubmitError::None};
+        }
+    }
+
+    if (!queue_.tryPush(job, job->req.priority))
+        return reject(shutdown_.load(std::memory_order_acquire)
+                          ? SubmitError::ShuttingDown
+                          : SubmitError::QueueFull);
+
+    std::lock_guard<std::mutex> lock(mtx_);
+    stats_.submitted++;
+    jobs_.emplace(job->id, job);
+    return Submitted{job->id, SubmitError::None};
+}
+
+void
+JobManager::workerLoop()
+{
+    while (auto popped = queue_.pop()) {
+        std::shared_ptr<Job> job = std::move(*popped);
+        // cancel() may have claimed the job while it was queued.
+        if (job->state.load(std::memory_order_acquire) !=
+            JobState::Queued)
+            continue;
+        if (job->req.options.stop.stopRequested()) {
+            finishJob(job, JobState::Cancelled,
+                      job->stop.stopRequested()
+                          ? "cancelled while queued"
+                          : "deadline exceeded while queued");
+            continue;
+        }
+        runJob(job);
+    }
+}
+
+void
+JobManager::runJob(const std::shared_ptr<Job> &job)
+{
+    // Re-check the cache: an identical job may have converged while
+    // this one sat in the queue.  All non-atomic Job fields are
+    // guarded by mtx_ once the job is published in jobs_, so status()
+    // snapshots never race the worker.
+    if (job->req.allowCached) {
+        if (auto cached = cache_.get(job->key)) {
+            {
+                std::lock_guard<std::mutex> lock(mtx_);
+                job->cacheHit = true;
+                job->result = std::move(cached);
+                job->startedAt = monotonicSeconds();
+                stats_.cacheHits++;
+            }
+            finishJob(job, JobState::Done, "");
+            return;
+        }
+    }
+
+    // Warm start: a converged result from the same fixpoint family
+    // (same graph/algo/params, any engine options) seeds this run.
+    if (job->req.allowWarmStart) {
+        std::shared_ptr<const JobResult> seed;
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            auto it = lastFixpoint_.find(job->familyKey);
+            if (it != lastFixpoint_.end())
+                seed = it->second.lock();
+        }
+        if (seed && seed->values.size() ==
+                        job->graph->numVertices()) {
+            // Aliasing shared_ptr: keeps the whole JobResult alive,
+            // points at its value vector — no copy.
+            job->req.options.warmStart =
+                std::shared_ptr<const std::vector<double>>(
+                    seed, &seed->values);
+            std::lock_guard<std::mutex> lock(mtx_);
+            job->warmStarted = true;
+            stats_.warmStarts++;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        // Claim Queued -> Running; cancel() may have claimed the job
+        // between the worker's pop and this point.
+        JobState expected = JobState::Queued;
+        if (!job->state.compare_exchange_strong(expected,
+                                                JobState::Running))
+            return;
+        job->startedAt = monotonicSeconds();
+    }
+    running_.fetch_add(1, std::memory_order_relaxed);
+
+    RunOutcome outcome = runAnalyticsJob(*job->graph, job->req);
+
+    running_.fetch_sub(1, std::memory_order_relaxed);
+
+    if (!outcome.ok()) {
+        finishJob(job, JobState::Failed, std::move(outcome.error));
+        return;
+    }
+    if (outcome.report.stopped) {
+        finishJob(job, JobState::Cancelled,
+                  job->stop.stopRequested() ? "cancelled"
+                                            : "deadline exceeded");
+        return;
+    }
+
+    auto result = std::make_shared<JobResult>();
+    result->values = std::move(outcome.values);
+    result->report = outcome.report;
+    cache_.put(job->key, result);
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        job->result = result;
+        lastFixpoint_[job->familyKey] = std::move(result);
+    }
+    finishJob(job, JobState::Done, "");
+}
+
+void
+JobManager::finishJob(const std::shared_ptr<Job> &job, JobState state,
+                      std::string error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        job->error = std::move(error);
+        job->finishedAt = monotonicSeconds();
+        if (job->startedAt == 0.0)
+            job->startedAt = job->finishedAt;
+        job->state.store(state, std::memory_order_release);
+        switch (state) {
+          case JobState::Done:      stats_.completed++; break;
+          case JobState::Cancelled: stats_.cancelled++; break;
+          case JobState::Failed:    stats_.failed++; break;
+          default: break;
+        }
+        // Bound the job table: prune the oldest terminal records
+        // (JobIds are monotonic, so map order is submission order).
+        if (cfg_.maxRetainedJobs > 0) {
+            for (auto it = jobs_.begin();
+                 jobs_.size() > cfg_.maxRetainedJobs &&
+                 it != jobs_.end();) {
+                if (isTerminal(it->second->state.load(
+                        std::memory_order_acquire)))
+                    it = jobs_.erase(it);
+                else
+                    ++it;
+            }
+        }
+    }
+    doneCv_.notify_all();
+}
+
+bool
+JobManager::cancel(JobId id)
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false;
+        job = it->second;
+    }
+    JobState state = job->state.load(std::memory_order_acquire);
+    if (isTerminal(state))
+        return false;
+    job->stop.requestStop();
+    // Claim a queued job outright so it never starts; the popping
+    // worker sees a non-Queued state and drops its queue entry.
+    JobState expected = JobState::Queued;
+    bool claimed = false;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        claimed = job->state.compare_exchange_strong(
+            expected, JobState::Cancelled);
+        if (claimed) {
+            job->error = "cancelled while queued";
+            job->finishedAt = monotonicSeconds();
+            if (job->startedAt == 0.0)
+                job->startedAt = job->finishedAt;
+            stats_.cancelled++;
+        }
+    }
+    if (claimed)
+        doneCv_.notify_all();
+    // Running jobs finish through the worker when the token fires.
+    return true;
+}
+
+std::optional<JobStatus>
+JobManager::status(JobId id) const
+{
+    // Hold the lock across the whole snapshot: every non-atomic Job
+    // field is written under mtx_ once the job is published.
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const std::shared_ptr<Job> &job = it->second;
+
+    JobStatus st;
+    st.id = job->id;
+    st.state = job->state.load(std::memory_order_acquire);
+    st.priority = job->req.priority;
+    st.cacheHit = job->cacheHit;
+    st.warmStarted = job->warmStarted;
+    st.error = job->error;
+
+    const double now = monotonicSeconds();
+    const double n = std::max<double>(job->graph->numVertices(), 1.0);
+    if (isTerminal(st.state)) {
+        st.queuedSeconds = job->startedAt - job->submittedAt;
+        st.runSeconds = job->finishedAt - job->startedAt;
+        if (job->result) {
+            st.epochs = job->result->report.epochs;
+            st.blockUpdates = job->result->report.blockUpdates;
+            st.edgeTraversals = job->result->report.edgeTraversals;
+            st.converged = job->result->report.converged;
+        }
+    } else {
+        const bool running = st.state == JobState::Running;
+        st.queuedSeconds =
+            (running ? job->startedAt : now) - job->submittedAt;
+        st.runSeconds = running ? now - job->startedAt : 0.0;
+        // Live counters from the engine's lock-free Progress sink.
+        const Progress &p = *job->progress;
+        st.epochs = static_cast<double>(p.vertexUpdates.load(
+                        std::memory_order_relaxed)) / n;
+        st.blockUpdates =
+            p.blockUpdates.load(std::memory_order_relaxed);
+        st.edgeTraversals =
+            p.edgeTraversals.load(std::memory_order_relaxed);
+    }
+    return st;
+}
+
+std::shared_ptr<const JobResult>
+JobManager::result(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return nullptr;
+    if (it->second->state.load(std::memory_order_acquire) !=
+        JobState::Done)
+        return nullptr;
+    return it->second->result;
+}
+
+bool
+JobManager::wait(JobId id, double timeout_seconds) const
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false;
+        job = it->second;
+    }
+    auto terminal = [&job] {
+        return isTerminal(job->state.load(std::memory_order_acquire));
+    };
+    std::unique_lock<std::mutex> lock(mtx_);
+    if (timeout_seconds < 0.0) {
+        doneCv_.wait(lock, terminal);
+        return true;
+    }
+    return doneCv_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), terminal);
+}
+
+ServeStats
+JobManager::stats() const
+{
+    ServeStats out;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        out = stats_;
+    }
+    out.queueDepth = queue_.size();
+    out.running = running_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+JobManager::shutdown()
+{
+    if (shutdown_.exchange(true, std::memory_order_acq_rel))
+        return;
+    // Stop running engines promptly; queued jobs drain as cancelled.
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        for (auto &[id, job] : jobs_) {
+            if (!isTerminal(job->state.load(std::memory_order_acquire)))
+                job->stop.requestStop();
+        }
+    }
+    queue_.close();
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+} // namespace graphabcd

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * JobManager — the serve layer's execution core.
+ *
+ * Threading model (documented in DESIGN.md "Serve layer"):
+ *
+ *  - submit() runs on the client thread: it resolves the graph handle,
+ *    consults the ResultCache (an exact hit completes the job without
+ *    ever queueing), and admits the job to a bounded priority queue.
+ *    A saturated queue rejects with QueueFull instead of blocking —
+ *    admission control, not buffering.
+ *
+ *  - A fixed pool of service workers pops jobs in priority order and
+ *    runs the engine synchronously.  Engines are handed a StopToken
+ *    (cancel() + per-job deadline) they poll at block granularity, and
+ *    a Progress sink of relaxed atomics they publish into, so
+ *    status() snapshots never touch an engine lock.
+ *
+ *  - One mutex guards the job table, stats, and the warm-start index;
+ *    it is never held across an engine run, a partition build, or a
+ *    queue wait.  The ResultCache and AdmissionQueue have their own
+ *    locks, always acquired after (never while holding) the manager
+ *    lock held only for map/stat updates — no lock-order cycles.
+ *
+ * Cancellation is cooperative and race-free: cancel() atomically
+ * claims a Queued job (the popping worker then skips it) or requests a
+ * stop on a Running one; the engine returns with report.stopped and
+ * the worker records Cancelled.  Deadlines ride the same token.
+ */
+
+#ifndef GRAPHABCD_SERVE_JOB_MANAGER_HH
+#define GRAPHABCD_SERVE_JOB_MANAGER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stop_token.hh"
+#include "runtime/admission_queue.hh"
+#include "serve/graph_registry.hh"
+#include "serve/job.hh"
+#include "serve/result_cache.hh"
+
+namespace graphabcd {
+
+/** Embedded analytics job service over a GraphRegistry. */
+class JobManager
+{
+  public:
+    /** Outcome of submit(): a JobId, or the rejection reason. */
+    struct Submitted
+    {
+        JobId id = 0;
+        SubmitError error = SubmitError::None;
+
+        bool ok() const { return id != 0; }
+    };
+
+    /**
+     * @param registry shared graph store (not owned; must outlive the
+     *        manager).
+     */
+    explicit JobManager(GraphRegistry &registry, ServeConfig config = {});
+
+    /** Stops workers and cancels outstanding jobs. */
+    ~JobManager();
+
+    JobManager(const JobManager &) = delete;
+    JobManager &operator=(const JobManager &) = delete;
+
+    /**
+     * Submit a job.  May complete it immediately (cache hit) or reject
+     * it (QueueFull / UnknownGraph / BadRequest / ShuttingDown).
+     */
+    Submitted submit(JobRequest req);
+
+    /**
+     * Request cancellation.  Queued jobs are cancelled immediately;
+     * running jobs stop at the engine's next token poll.
+     * @return false when the job is unknown or already terminal.
+     */
+    bool cancel(JobId id);
+
+    /** @return a point-in-time snapshot, or nullopt for unknown ids. */
+    std::optional<JobStatus> status(JobId id) const;
+
+    /** @return the result once Done, nullptr otherwise. */
+    std::shared_ptr<const JobResult> result(JobId id) const;
+
+    /**
+     * Block until the job reaches a terminal state.
+     * @param timeout_seconds negative = wait forever.
+     * @return whether the job is terminal on return.
+     */
+    bool wait(JobId id, double timeout_seconds = -1.0) const;
+
+    /** Service counters and gauges. */
+    ServeStats stats() const;
+
+    /** The result cache (hit counters, capacity). */
+    ResultCache &cache() { return cache_; }
+    const ResultCache &cache() const { return cache_; }
+
+    /** Reject new work, cancel outstanding jobs, join workers. */
+    void shutdown();
+
+  private:
+    /** Internal job record; shared by the table and the queue. */
+    struct Job
+    {
+        JobId id = 0;
+        JobRequest req;
+        std::shared_ptr<const BlockPartition> graph;
+        std::uint64_t key = 0;         //!< exact cache fingerprint
+        std::uint64_t familyKey = 0;   //!< warm-start fingerprint
+
+        StopSource stop;
+        std::shared_ptr<Progress> progress;
+
+        std::atomic<JobState> state{JobState::Queued};
+        double submittedAt = 0.0;   //!< monotonicSeconds()
+        double startedAt = 0.0;
+        double finishedAt = 0.0;
+
+        std::shared_ptr<const JobResult> result;
+        std::string error;
+        bool cacheHit = false;
+        bool warmStarted = false;
+    };
+
+    void workerLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+    void finishJob(const std::shared_ptr<Job> &job, JobState state,
+                   std::string error);
+
+    GraphRegistry &registry_;
+    const ServeConfig cfg_;
+    ResultCache cache_;
+    AdmissionQueue<std::shared_ptr<Job>> queue_;
+
+    mutable std::mutex mtx_;   //!< jobs_, warm-start index, stats_
+    mutable std::condition_variable doneCv_;
+    std::map<JobId, std::shared_ptr<Job>> jobs_;
+    std::unordered_map<std::uint64_t, std::weak_ptr<const JobResult>>
+        lastFixpoint_;   //!< familyKey -> most recent converged result
+    ServeStats stats_;
+
+    std::atomic<JobId> nextId_{1};
+    std::atomic<std::size_t> running_{0};
+    std::atomic<bool> shutdown_{false};
+    std::vector<std::thread> workers_;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SERVE_JOB_MANAGER_HH

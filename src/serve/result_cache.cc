@@ -1,0 +1,96 @@
+#include "serve/result_cache.hh"
+
+#include "support/timer.hh"
+
+namespace graphabcd {
+
+ResultCache::ResultCache(std::size_t capacity, double ttl_seconds,
+                         NowFn now_fn)
+    : cap(capacity), ttl(ttl_seconds),
+      now(now_fn ? std::move(now_fn) : NowFn(&monotonicSeconds))
+{
+}
+
+bool
+ResultCache::expired(const Entry &entry, double t) const
+{
+    return ttl > 0.0 && t - entry.insertedAt >= ttl;
+}
+
+std::shared_ptr<const JobResult>
+ResultCache::get(std::uint64_t key)
+{
+    const double t = now();
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = map.find(key);
+    if (it == map.end()) {
+        counters.misses++;
+        return nullptr;
+    }
+    if (expired(it->second, t)) {
+        lru.erase(it->second.lruIt);
+        map.erase(it);
+        counters.expirations++;
+        counters.misses++;
+        return nullptr;
+    }
+    lru.splice(lru.begin(), lru, it->second.lruIt);
+    counters.hits++;
+    return it->second.result;
+}
+
+void
+ResultCache::put(std::uint64_t key,
+                 std::shared_ptr<const JobResult> result)
+{
+    if (cap == 0 || !result)
+        return;
+    const double t = now();
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = map.find(key);
+    if (it != map.end()) {
+        // Replace in place and refresh both LRU position and TTL.
+        it->second.result = std::move(result);
+        it->second.insertedAt = t;
+        lru.splice(lru.begin(), lru, it->second.lruIt);
+        counters.insertions++;
+        return;
+    }
+    if (map.size() >= cap) {
+        const std::uint64_t victim = lru.back();
+        lru.pop_back();
+        map.erase(victim);
+        counters.evictions++;
+    }
+    lru.push_front(key);
+    Entry entry;
+    entry.result = std::move(result);
+    entry.insertedAt = t;
+    entry.lruIt = lru.begin();
+    map.emplace(key, std::move(entry));
+    counters.insertions++;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return map.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lru.clear();
+    map.clear();
+}
+
+} // namespace graphabcd

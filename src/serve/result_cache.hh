@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ResultCache — LRU + TTL cache of converged fixpoints.
+ *
+ * Keyed by the 64-bit job fingerprint (graph identity x algorithm x
+ * parameters x engine options, see serve/runner.hh): an identical
+ * re-submitted job is answered from memory, and a *related* job (same
+ * fixpoint family, different run options) can warm-start from a cached
+ * result instead of iterating from scratch — the delta/accumulative
+ * iteration insight of Maiter applied at the serving layer.
+ *
+ * Entries are shared_ptr<const JobResult>, so a hit never copies the
+ * value vector and eviction never invalidates a result a client still
+ * holds.  TTL is measured from insertion on the monotonic clock; an
+ * expired entry counts as a miss (plus an `expirations` stat) and is
+ * dropped on access.  The clock is injectable so TTL behaviour is unit
+ * testable without sleeping.
+ */
+
+#ifndef GRAPHABCD_SERVE_RESULT_CACHE_HH
+#define GRAPHABCD_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/job.hh"
+
+namespace graphabcd {
+
+/** Thread-safe fixed-capacity LRU cache with per-entry TTL. */
+class ResultCache
+{
+  public:
+    /** Monotonic now() in seconds; injectable for tests. */
+    using NowFn = std::function<double()>;
+
+    /** Hit/miss accounting (monotonic counters). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;     //!< dropped by LRU capacity
+        std::uint64_t expirations = 0;   //!< dropped by TTL
+
+        double
+        hitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total ? static_cast<double>(hits) / total : 0.0;
+        }
+    };
+
+    /**
+     * @param capacity maximum entries (0 disables caching entirely).
+     * @param ttl_seconds entry lifetime from insertion; <= 0 = no TTL.
+     * @param now clock override for tests; defaults to the process
+     *        monotonic clock.
+     */
+    ResultCache(std::size_t capacity, double ttl_seconds,
+                NowFn now = nullptr);
+
+    /**
+     * Look up a fingerprint, refreshing its LRU position.
+     * @return the cached result, or nullptr (miss or expired).
+     */
+    std::shared_ptr<const JobResult> get(std::uint64_t key);
+
+    /** Insert or replace; evicts the LRU entry beyond capacity. */
+    void put(std::uint64_t key, std::shared_ptr<const JobResult> result);
+
+    Stats stats() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return cap; }
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const JobResult> result;
+        double insertedAt = 0.0;
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    bool expired(const Entry &entry, double now) const;
+
+    const std::size_t cap;
+    const double ttl;
+    const NowFn now;
+
+    mutable std::mutex mtx;
+    std::list<std::uint64_t> lru;   //!< front = most recently used
+    std::unordered_map<std::uint64_t, Entry> map;
+    Stats counters;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,132 @@
+#include "serve/runner.hh"
+
+#include <atomic>
+
+#include "algorithms/extras.hh"
+#include "algorithms/label_propagation.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/sssp.hh"
+#include "core/async_engine.hh"
+#include "core/engine.hh"
+#include "harp/system.hh"
+#include "support/fingerprint.hh"
+
+namespace graphabcd {
+
+namespace {
+
+/** Translate a simulator report into the common EngineReport shape. */
+EngineReport
+fromSimReport(const SimReport &sim)
+{
+    EngineReport report;
+    report.epochs = sim.epochs;
+    report.blockUpdates = sim.blockUpdates;
+    report.vertexUpdates = sim.vertexUpdates;
+    report.edgeTraversals = sim.edgeTraversals;
+    report.scatterWrites = sim.scatterWrites;
+    report.converged = sim.converged;
+    report.stopped = sim.stopped;
+    report.seconds = sim.hostSeconds;
+    return report;
+}
+
+template <typename Program>
+RunOutcome
+runWith(const BlockPartition &g, Program program, const JobRequest &req)
+{
+    RunOutcome out;
+    if (req.engine == "serial") {
+        SerialEngine<Program> engine(g, program, req.options);
+        out.report = engine.run(out.values);
+    } else if (req.engine == "async") {
+        if constexpr (std::atomic<
+                          typename Program::Value>::is_always_lock_free) {
+            AsyncEngine<Program> engine(g, program, req.options);
+            out.report = engine.run(out.values);
+        } else {
+            out.error = "algorithm '" + req.algo +
+                        "' is not lock-free atomic; use engine=serial";
+        }
+    } else if (req.engine == "sim") {
+        HarpSystem<Program> system(g, program, req.options, HarpConfig{});
+        out.report = fromSimReport(system.run(out.values));
+    } else {
+        out.error = "unknown engine '" + req.engine + "'";
+    }
+    return out;
+}
+
+} // namespace
+
+RunOutcome
+runAnalyticsJob(const BlockPartition &g, const JobRequest &req)
+{
+    if (req.algo == "pr")
+        return runWith(g, PageRankProgram(), req);
+    if (req.algo == "ppr")
+        return runWith(g, PersonalizedPageRankProgram(req.source), req);
+    if (req.algo == "sssp")
+        return runWith(g, SsspProgram(req.source), req);
+    if (req.algo == "bfs")
+        return runWith(g, BfsProgram(req.source), req);
+    if (req.algo == "cc")
+        return runWith(g, CcProgram(), req);
+    if (req.algo == "lp")
+        return runWith(g, LabelPropagationProgram(), req);
+    RunOutcome out;
+    out.error = "unknown algorithm '" + req.algo + "'";
+    return out;
+}
+
+bool
+isRunnable(const JobRequest &req, std::string *why)
+{
+    static const char *const algos[] = {"pr",  "ppr", "sssp",
+                                        "bfs", "cc",  "lp"};
+    static const char *const engines[] = {"serial", "async", "sim"};
+    bool algo_ok = false;
+    for (const char *a : algos)
+        algo_ok = algo_ok || req.algo == a;
+    bool engine_ok = false;
+    for (const char *e : engines)
+        engine_ok = engine_ok || req.engine == e;
+    if (!algo_ok && why)
+        *why = "unknown algorithm '" + req.algo + "'";
+    else if (!engine_ok && why)
+        *why = "unknown engine '" + req.engine + "'";
+    return algo_ok && engine_ok;
+}
+
+std::uint64_t
+jobFamilyFingerprint(std::uint64_t graph_fingerprint,
+                     const JobRequest &req)
+{
+    Fingerprint fp;
+    fp.mix(graph_fingerprint);
+    fp.mix(std::string_view(req.algo));
+    // The source vertex is part of the fixpoint for sssp/bfs/ppr; for
+    // the others it is ignored by the program, but mixing it uniformly
+    // costs only a cold cache entry, never a wrong hit.
+    fp.mix(static_cast<std::uint64_t>(req.source));
+    return fp.value();
+}
+
+std::uint64_t
+jobFingerprint(std::uint64_t graph_fingerprint, const JobRequest &req)
+{
+    Fingerprint fp;
+    fp.mix(jobFamilyFingerprint(graph_fingerprint, req));
+    fp.mix(std::string_view(req.engine));
+    const EngineOptions &opt = req.options;
+    fp.mix(static_cast<std::uint64_t>(opt.blockSize));
+    fp.mix(static_cast<std::uint64_t>(opt.schedule));
+    fp.mix(static_cast<std::uint64_t>(opt.mode));
+    fp.mix(opt.tolerance);
+    fp.mix(opt.maxEpochs);
+    fp.mix(opt.seed);
+    fp.mix(static_cast<std::uint64_t>(opt.numThreads));
+    return fp.value();
+}
+
+} // namespace graphabcd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Job runner — maps a JobRequest onto a concrete (vertex program x
+ * engine) instantiation and runs it to completion, plus the
+ * fingerprints that key the ResultCache.
+ *
+ * Two fingerprints per job:
+ *
+ *  - jobFingerprint: graph identity + algorithm + parameters + every
+ *    semantic EngineOptions field.  Exact-match cache key: equal
+ *    fingerprints mean the runs are interchangeable.  Serve-layer
+ *    hooks (stop token, progress sink, warm start) are deliberately
+ *    excluded — they change how a run is observed, not what it
+ *    converges to.
+ *
+ *  - jobFamilyFingerprint: graph identity + algorithm + parameters
+ *    only.  All members of a family share a fixpoint, so a cached
+ *    result from one member is a valid warm start for another run
+ *    with different engine options.
+ */
+
+#ifndef GRAPHABCD_SERVE_RUNNER_HH
+#define GRAPHABCD_SERVE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/partition.hh"
+#include "serve/job.hh"
+
+namespace graphabcd {
+
+/** Outcome of one dispatched run. */
+struct RunOutcome
+{
+    std::vector<double> values;
+    EngineReport report;
+    std::string error;   //!< non-empty when the request was unrunnable
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Execute `req` against `g` synchronously on the calling thread.  The
+ * engine honours req.options.stop / progress / warmStart.  Unsupported
+ * algo/engine combinations return an error outcome (never throw).
+ */
+RunOutcome runAnalyticsJob(const BlockPartition &g, const JobRequest &req);
+
+/** @return whether runAnalyticsJob recognises req.algo and req.engine. */
+bool isRunnable(const JobRequest &req, std::string *why = nullptr);
+
+/** Exact-match ResultCache key (see file comment). */
+std::uint64_t jobFingerprint(std::uint64_t graph_fingerprint,
+                             const JobRequest &req);
+
+/** Fixpoint-family key for warm starting (see file comment). */
+std::uint64_t jobFamilyFingerprint(std::uint64_t graph_fingerprint,
+                                   const JobRequest &req);
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SERVE_RUNNER_HH

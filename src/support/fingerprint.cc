@@ -1,0 +1,47 @@
+#include "support/fingerprint.hh"
+
+#include <cstring>
+
+namespace graphabcd {
+
+namespace {
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+} // namespace
+
+Fingerprint &
+Fingerprint::mixBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; i++) {
+        hash ^= bytes[i];
+        hash *= fnvPrime;
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(std::uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; i++)
+        bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    return mixBytes(bytes, sizeof(bytes));
+}
+
+Fingerprint &
+Fingerprint::mix(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+}
+
+Fingerprint &
+Fingerprint::mix(std::string_view s)
+{
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mixBytes(s.data(), s.size());
+}
+
+} // namespace graphabcd

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Incremental 64-bit fingerprint builder (FNV-1a).
+ *
+ * The serve layer keys its ResultCache and graph registry entries by a
+ * fingerprint of (graph identity, algorithm, parameters, engine
+ * options).  FNV-1a is deterministic across runs and platforms (unlike
+ * std::hash), cheap, and mixes short structured inputs well; the
+ * builder mixes field *boundaries* too (lengths, bit patterns), so
+ * adjacent fields cannot alias — ("ab", "c") and ("a", "bc") hash
+ * differently.
+ */
+
+#ifndef GRAPHABCD_SUPPORT_FINGERPRINT_HH
+#define GRAPHABCD_SUPPORT_FINGERPRINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace graphabcd {
+
+/**
+ * Order-sensitive hash accumulator.  Mix fields in a fixed order, then
+ * read value(); equal field sequences give equal fingerprints.
+ */
+class Fingerprint
+{
+  public:
+    /** Mix a raw byte range. */
+    Fingerprint &mixBytes(const void *data, std::size_t size);
+
+    /** Mix an unsigned integer (fixed 8-byte encoding). */
+    Fingerprint &mix(std::uint64_t v);
+
+    /** Mix a signed integer. */
+    Fingerprint &
+    mix(std::int64_t v)
+    {
+        return mix(static_cast<std::uint64_t>(v));
+    }
+
+    /** Mix a double by bit pattern (0.1 != 0.1000001). */
+    Fingerprint &mix(double v);
+
+    /** Mix a string, length-prefixed so concatenations cannot alias. */
+    Fingerprint &mix(std::string_view s);
+
+    /** Mix a boolean. */
+    Fingerprint &
+    mix(bool v)
+    {
+        return mix(static_cast<std::uint64_t>(v ? 1 : 2));
+    }
+
+    /** @return the accumulated 64-bit fingerprint. */
+    std::uint64_t value() const { return hash; }
+
+  private:
+    // FNV-1a 64-bit offset basis.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_SUPPORT_FINGERPRINT_HH

@@ -37,8 +37,31 @@ class Timer
 
   private:
     using Clock = std::chrono::steady_clock;
+
+    // Every duration this library reports (EngineReport::seconds,
+    // SimReport::hostSeconds, serve-layer job accounting) flows through
+    // this class, so pinning the clock here keeps them all immune to
+    // wall-clock adjustments (NTP slew, DST, manual changes).
+    static_assert(Clock::is_steady,
+                  "timing must use a monotonic clock so elapsed "
+                  "measurements can never go negative");
+
     Clock::time_point begin;
 };
+
+/**
+ * Monotonic timestamp in seconds since an arbitrary process-local
+ * epoch.  Use for cross-thread event timestamps (e.g. job queued /
+ * started / finished instants) where two readings must subtract to a
+ * non-negative duration regardless of wall-clock adjustments.
+ */
+inline double
+monotonicSeconds()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
 
 } // namespace graphabcd
 

@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "algorithms/pagerank.hh"
 #include "algorithms/reference.hh"
 #include "algorithms/sssp.hh"
 #include "core/async_engine.hh"
+#include "core/stop_token.hh"
 #include "graph/generators.hh"
 
 namespace graphabcd {
@@ -148,6 +153,116 @@ TEST(AsyncEngine, RepeatedRunsAreStable)
         for (VertexId v = 0; v < el.numVertices(); v++)
             EXPECT_NEAR(dist[v], ref[v], 1e-6);
     }
+}
+
+/** Options for a run that can never converge (negative tolerance). */
+EngineOptions
+endlessOptions(ExecMode mode, std::uint32_t threads)
+{
+    EngineOptions opt;
+    opt.blockSize = 16;
+    opt.numThreads = threads;
+    opt.mode = mode;
+    opt.tolerance = -1.0;   // residual >= 0 never beats this
+    opt.maxEpochs = 1e9;
+    return opt;
+}
+
+TEST(AsyncEngineStop, StopTokenTerminatesWorkersPromptly)
+{
+    Rng rng(57);
+    EdgeList el = generateRmat(300, 2400, rng);
+    for (ExecMode mode : {ExecMode::Async, ExecMode::Bsp}) {
+        EngineOptions opt = endlessOptions(mode, 4);
+        StopSource source;
+        opt.stop = source.token();
+        BlockPartition g(el, opt.blockSize);
+        AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+
+        std::thread canceller([&source] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            source.requestStop();
+        });
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<double> x;
+        EngineReport report = engine.run(x);
+        canceller.join();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        // run() returned because the token fired, long before the
+        // 1e9-epoch budget, and said so in the report.
+        EXPECT_TRUE(report.stopped) << to_string(mode);
+        EXPECT_FALSE(report.converged) << to_string(mode);
+        EXPECT_LT(elapsed, 10.0) << to_string(mode);
+
+        // State is consistent: a full-size, finite value vector.
+        ASSERT_EQ(x.size(), el.numVertices());
+        for (VertexId v = 0; v < el.numVertices(); v++)
+            EXPECT_TRUE(std::isfinite(x[v])) << "vertex " << v;
+    }
+}
+
+TEST(AsyncEngineStop, PreCancelledTokenStopsBeforeWork)
+{
+    Rng rng(58);
+    EdgeList el = generateRmat(128, 1024, rng);
+    EngineOptions opt = endlessOptions(ExecMode::Async, 2);
+    StopSource source;
+    source.requestStop();
+    opt.stop = source.token();
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.stopped);
+    EXPECT_FALSE(report.converged);
+    EXPECT_EQ(x.size(), el.numVertices());
+}
+
+TEST(AsyncEngineStop, DeadlineAloneStopsTheRun)
+{
+    Rng rng(59);
+    EdgeList el = generateRmat(200, 1600, rng);
+    EngineOptions opt = endlessOptions(ExecMode::Async, 3);
+    opt.stop = StopToken().withDeadline(0.05);
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.stopped);
+    EXPECT_FALSE(report.converged);
+}
+
+TEST(AsyncEngineStop, StoppedRunPublishesProgress)
+{
+    Rng rng(60);
+    EdgeList el = generateRmat(200, 1600, rng);
+    EngineOptions opt = endlessOptions(ExecMode::Async, 2);
+    StopSource source;
+    opt.stop = source.token();
+    auto progress = std::make_shared<Progress>();
+    opt.progress = progress;
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+
+    std::thread canceller([&] {
+        // Wait until the engine demonstrably did work, then stop it.
+        while (progress->blockUpdates.load(std::memory_order_relaxed) <
+               10)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        source.requestStop();
+    });
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    canceller.join();
+    EXPECT_TRUE(report.stopped);
+    EXPECT_GE(progress->blockUpdates.load(std::memory_order_relaxed),
+              10u);
+    EXPECT_GT(progress->edgeTraversals.load(std::memory_order_relaxed),
+              0u);
 }
 
 TEST(AsyncEngine, ReportsWorkCounters)

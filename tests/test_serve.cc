@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Tests of the serve layer: admission queue ordering and backpressure,
+ * stop tokens, result-cache LRU/TTL/fingerprinting, the graph
+ * registry, and the JobManager end-to-end — concurrent jobs must match
+ * direct engine runs, cancellation must not block other jobs, and a
+ * saturated queue must reject instead of deadlock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/stop_token.hh"
+#include "graph/generators.hh"
+#include "runtime/admission_queue.hh"
+#include "serve/graph_registry.hh"
+#include "serve/job_manager.hh"
+#include "serve/result_cache.hh"
+#include "serve/runner.hh"
+#include "support/fingerprint.hh"
+
+namespace graphabcd {
+namespace {
+
+/** Poll `pred` every 2ms until it holds or `timeout_s` elapses. */
+template <typename Pred>
+bool
+waitUntil(Pred pred, double timeout_s = 10.0)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+/** A request that never converges (negative tolerance) — cancel bait. */
+JobRequest
+endlessRequest(const std::string &graph)
+{
+    JobRequest req;
+    req.graph = graph;
+    req.algo = "pr";
+    req.engine = "serial";
+    req.options.tolerance = -1.0;   // residual >= 0 can never beat this
+    req.options.maxEpochs = 1e9;
+    req.allowCached = false;
+    req.allowWarmStart = false;
+    return req;
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQueue
+
+TEST(AdmissionQueue, PriorityOrderFifoWithinClass)
+{
+    AdmissionQueue<int> q(8);
+    ASSERT_TRUE(q.tryPush(1, 0.0));
+    ASSERT_TRUE(q.tryPush(2, 5.0));
+    ASSERT_TRUE(q.tryPush(3, 0.0));
+    ASSERT_TRUE(q.tryPush(4, 5.0));
+    EXPECT_EQ(q.pop(), 2);   // highest priority first...
+    EXPECT_EQ(q.pop(), 4);   // ...FIFO among equals
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(AdmissionQueue, RejectsWhenFullInsteadOfBlocking)
+{
+    AdmissionQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1, 0.0));
+    EXPECT_TRUE(q.tryPush(2, 0.0));
+    EXPECT_FALSE(q.tryPush(3, 9.0));   // full: rejected, not parked
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.tryPush(3, 0.0));    // slot freed
+}
+
+TEST(AdmissionQueue, CloseDrainsBacklogThenSignalsShutdown)
+{
+    AdmissionQueue<int> q(4);
+    ASSERT_TRUE(q.tryPush(7, 0.0));
+    q.close();
+    EXPECT_FALSE(q.tryPush(8, 0.0));
+    EXPECT_EQ(q.pop(), 7);                  // backlog drains
+    EXPECT_EQ(q.pop(), std::nullopt);       // then shutdown
+    EXPECT_TRUE(q.isClosed());
+}
+
+// ---------------------------------------------------------------------
+// StopToken
+
+TEST(StopToken, DefaultTokenNeverFires)
+{
+    StopToken token;
+    EXPECT_FALSE(token.stopPossible());
+    EXPECT_FALSE(token.stopRequested());
+}
+
+TEST(StopToken, SourceFiresEveryToken)
+{
+    StopSource source;
+    StopToken a = source.token();
+    StopToken b = a;   // copies observe the same flag
+    EXPECT_FALSE(a.stopRequested());
+    source.requestStop();
+    EXPECT_TRUE(a.stopRequested());
+    EXPECT_TRUE(b.stopRequested());
+}
+
+TEST(StopToken, DeadlineFiresWithoutASource)
+{
+    StopToken token = StopToken().withDeadline(0.0);
+    EXPECT_TRUE(token.stopPossible());
+    EXPECT_TRUE(waitUntil([&] { return token.stopRequested(); }, 1.0));
+    EXPECT_TRUE(token.deadlineExpired());
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints
+
+TEST(Fingerprint, StringsAreLengthPrefixed)
+{
+    Fingerprint a, b;
+    a.mix(std::string_view("ab"));
+    a.mix(std::string_view("c"));
+    b.mix(std::string_view("a"));
+    b.mix(std::string_view("bc"));
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fingerprint, DifferentEngineOptionsDoNotAlias)
+{
+    JobRequest base;
+    base.graph = "g";
+    base.algo = "pr";
+
+    JobRequest tol = base;
+    tol.options.tolerance = 1e-3;
+    JobRequest sched = base;
+    sched.options.schedule = Schedule::Priority;
+    JobRequest eng = base;
+    eng.engine = "async";
+
+    const std::uint64_t gfp = 0x1234;
+    const std::uint64_t k0 = jobFingerprint(gfp, base);
+    EXPECT_NE(k0, jobFingerprint(gfp, tol));
+    EXPECT_NE(k0, jobFingerprint(gfp, sched));
+    EXPECT_NE(k0, jobFingerprint(gfp, eng));
+    // ...but they all share one fixpoint family.
+    const std::uint64_t f0 = jobFamilyFingerprint(gfp, base);
+    EXPECT_EQ(f0, jobFamilyFingerprint(gfp, tol));
+    EXPECT_EQ(f0, jobFamilyFingerprint(gfp, sched));
+    EXPECT_EQ(f0, jobFamilyFingerprint(gfp, eng));
+}
+
+TEST(Fingerprint, AlgoSourceAndGraphSplitFamilies)
+{
+    JobRequest base;
+    base.graph = "g";
+    base.algo = "sssp";
+    base.source = 0;
+    JobRequest src = base;
+    src.source = 7;
+    JobRequest algo = base;
+    algo.algo = "bfs";
+
+    EXPECT_NE(jobFamilyFingerprint(1, base),
+              jobFamilyFingerprint(1, src));
+    EXPECT_NE(jobFamilyFingerprint(1, base),
+              jobFamilyFingerprint(1, algo));
+    EXPECT_NE(jobFamilyFingerprint(1, base),
+              jobFamilyFingerprint(2, base));
+}
+
+// ---------------------------------------------------------------------
+// ResultCache
+
+std::shared_ptr<const JobResult>
+makeResult(double v)
+{
+    auto r = std::make_shared<JobResult>();
+    r->values = {v};
+    return r;
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed)
+{
+    ResultCache cache(3, 0.0);
+    cache.put(1, makeResult(1));
+    cache.put(2, makeResult(2));
+    cache.put(3, makeResult(3));
+    ASSERT_NE(cache.get(1), nullptr);   // 1 becomes most recent
+    cache.put(4, makeResult(4));        // evicts 2, the LRU entry
+
+    EXPECT_EQ(cache.get(2), nullptr);
+    EXPECT_NE(cache.get(1), nullptr);
+    EXPECT_NE(cache.get(3), nullptr);
+    EXPECT_NE(cache.get(4), nullptr);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, TtlExpiresEntriesOnInjectedClock)
+{
+    double fake_now = 0.0;
+    ResultCache cache(4, 10.0, [&fake_now] { return fake_now; });
+    cache.put(1, makeResult(1));
+
+    fake_now = 5.0;
+    EXPECT_NE(cache.get(1), nullptr);   // get() does not refresh TTL
+
+    fake_now = 10.0;
+    EXPECT_EQ(cache.get(1), nullptr);   // expired at insertion + ttl
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().expirations, 1u);
+
+    // put() on an existing key refreshes the TTL.
+    fake_now = 20.0;
+    cache.put(2, makeResult(2));
+    fake_now = 25.0;
+    cache.put(2, makeResult(2));
+    fake_now = 34.0;
+    EXPECT_NE(cache.get(2), nullptr);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching)
+{
+    ResultCache cache(0, 0.0);
+    cache.put(1, makeResult(1));
+    EXPECT_EQ(cache.get(1), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// GraphRegistry
+
+TEST(GraphRegistry, AddGetRemoveAndList)
+{
+    Rng rng(71);
+    GraphRegistry registry;
+    auto g = registry.add("g", generateRmat(100, 600, rng), 32);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(registry.get("g"), g);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_NE(registry.fingerprint("g"), 0u);
+
+    const auto infos = registry.list();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].name, "g");
+    EXPECT_EQ(infos[0].vertices, g->numVertices());
+
+    EXPECT_TRUE(registry.remove("g"));
+    EXPECT_EQ(registry.get("g"), nullptr);
+    EXPECT_FALSE(registry.remove("g"));
+    // In-flight holders keep the partition alive after remove().
+    EXPECT_GT(g->numVertices(), 0u);
+}
+
+TEST(GraphRegistry, ReplacingAGraphChangesItsFingerprint)
+{
+    Rng rng(72);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(100, 600, rng), 32);
+    const std::uint64_t fp1 = registry.fingerprint("g");
+    registry.add("g", generateRmat(120, 700, rng), 32);
+    const std::uint64_t fp2 = registry.fingerprint("g");
+    EXPECT_NE(fp1, fp2);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// JobManager end-to-end
+
+class ServeTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(73);
+        web = generateRmat(250, 1800, rng, {.weighted = true});
+        road = generateRmat(180, 1100, rng, {.weighted = true});
+        registry.add("web", web, 32);
+        registry.add("road", road, 32);
+    }
+
+    JobRequest
+    request(const std::string &graph, const std::string &algo,
+            const std::string &engine, VertexId source = 0)
+    {
+        JobRequest req;
+        req.graph = graph;
+        req.algo = algo;
+        req.engine = engine;
+        req.source = source;
+        req.options.numThreads = 2;
+        req.allowCached = false;
+        req.allowWarmStart = false;
+        return req;
+    }
+
+    EdgeList web, road;
+    GraphRegistry registry;
+};
+
+TEST_F(ServeTest, ConcurrentJobsMatchDirectEngineRuns)
+{
+    // 9 jobs over 2 shared graphs, submitted from 9 client threads.
+    const std::vector<JobRequest> reqs = {
+        request("web", "pr", "serial"),
+        request("web", "sssp", "serial", 0),
+        request("web", "bfs", "serial", 3),
+        request("web", "ppr", "serial", 5),
+        request("web", "sssp", "async", 0),
+        request("road", "pr", "serial"),
+        request("road", "sssp", "serial", 1),
+        request("road", "lp", "serial"),
+        request("road", "bfs", "async", 2),
+    };
+
+    ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = reqs.size();
+    JobManager manager(registry, cfg);
+
+    std::vector<JobId> ids(reqs.size(), 0);
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        clients.emplace_back([&, i] {
+            JobManager::Submitted sub = manager.submit(reqs[i]);
+            ASSERT_TRUE(sub.ok()) << to_string(sub.error);
+            ids[i] = sub.id;
+            EXPECT_TRUE(manager.wait(sub.id, 60.0));
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        auto result = manager.result(ids[i]);
+        ASSERT_NE(result, nullptr) << "job " << i;
+        EXPECT_TRUE(result->report.converged) << "job " << i;
+
+        // Direct run on the same partition, no service in between.
+        auto g = registry.get(reqs[i].graph);
+        JobRequest direct = reqs[i];
+        direct.options.blockSize = g->blockSize();
+        RunOutcome expected = runAnalyticsJob(*g, direct);
+        ASSERT_TRUE(expected.ok()) << expected.error;
+        ASSERT_EQ(result->values.size(), expected.values.size());
+        const bool exact = reqs[i].engine == "serial";
+        for (std::size_t v = 0; v < expected.values.size(); v++) {
+            if (exact)
+                EXPECT_DOUBLE_EQ(result->values[v], expected.values[v])
+                    << "job " << i << " vertex " << v;
+            else
+                EXPECT_NEAR(result->values[v], expected.values[v], 1e-9)
+                    << "job " << i << " vertex " << v;
+        }
+    }
+    const ServeStats stats = manager.stats();
+    EXPECT_EQ(stats.submitted, reqs.size());
+    EXPECT_EQ(stats.completed, reqs.size());
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServeTest, RepeatedJobIsServedFromTheResultCache)
+{
+    JobManager manager(registry);
+    JobRequest req = request("web", "pr", "serial");
+    req.allowCached = true;
+
+    JobManager::Submitted first = manager.submit(req);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(manager.wait(first.id, 60.0));
+    ASSERT_NE(manager.result(first.id), nullptr);
+
+    JobManager::Submitted second = manager.submit(req);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(manager.wait(second.id, 60.0));
+
+    auto st = manager.status(second.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_TRUE(st->cacheHit);
+    EXPECT_EQ(st->state, JobState::Done);
+    // Hit verified through the counters, and the result is shared.
+    EXPECT_EQ(manager.stats().cacheHits, 1u);
+    EXPECT_GE(manager.cache().stats().hits, 1u);
+    EXPECT_EQ(manager.result(second.id).get(),
+              manager.result(first.id).get());
+}
+
+TEST_F(ServeTest, FamilyMemberWarmStartsFromCachedFixpoint)
+{
+    JobManager manager(registry);
+    JobRequest coarse = request("web", "pr", "serial");
+    coarse.allowCached = true;
+    coarse.allowWarmStart = true;
+    coarse.options.tolerance = 1e-6;
+
+    JobManager::Submitted first = manager.submit(coarse);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(manager.wait(first.id, 60.0));
+
+    // Same fixpoint family, tighter tolerance: a different cache key,
+    // so it runs — but seeded from the coarse fixpoint.
+    JobRequest fine = coarse;
+    fine.options.tolerance = 1e-10;
+    JobManager::Submitted second = manager.submit(fine);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(manager.wait(second.id, 60.0));
+
+    auto st = manager.status(second.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, JobState::Done);
+    EXPECT_FALSE(st->cacheHit);
+    EXPECT_TRUE(st->warmStarted);
+    EXPECT_TRUE(st->converged);
+    EXPECT_EQ(manager.stats().warmStarts, 1u);
+
+    // The warm-started run still lands on the right fixpoint.
+    auto warm = manager.result(second.id);
+    auto g = registry.get("web");
+    JobRequest direct = fine;
+    direct.allowWarmStart = false;
+    direct.options.blockSize = g->blockSize();
+    RunOutcome expected = runAnalyticsJob(*g, direct);
+    ASSERT_EQ(warm->values.size(), expected.values.size());
+    for (std::size_t v = 0; v < expected.values.size(); v++)
+        EXPECT_NEAR(warm->values[v], expected.values[v], 1e-8);
+}
+
+TEST_F(ServeTest, CancelMidRunReportsCancelledWithoutBlockingOthers)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    JobManager manager(registry, cfg);
+
+    JobManager::Submitted endless = manager.submit(endlessRequest("web"));
+    ASSERT_TRUE(endless.ok());
+    // Wait until the engine is demonstrably running: live Progress
+    // counters are visible through status() snapshots mid-run.
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(endless.id);
+        return st && st->state == JobState::Running &&
+               st->blockUpdates > 0;
+    }));
+
+    // The second worker keeps serving other jobs meanwhile.
+    JobManager::Submitted quick =
+        manager.submit(request("road", "pr", "serial"));
+    ASSERT_TRUE(quick.ok());
+    EXPECT_TRUE(manager.wait(quick.id, 60.0));
+    EXPECT_EQ(manager.status(quick.id)->state, JobState::Done);
+
+    EXPECT_TRUE(manager.cancel(endless.id));
+    ASSERT_TRUE(manager.wait(endless.id, 10.0));
+    auto st = manager.status(endless.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, JobState::Cancelled);
+    EXPECT_EQ(st->error, "cancelled");
+    EXPECT_FALSE(st->converged);
+    // A cancelled job has no result and cannot be cancelled again.
+    EXPECT_EQ(manager.result(endless.id), nullptr);
+    EXPECT_FALSE(manager.cancel(endless.id));
+    EXPECT_EQ(manager.stats().cancelled, 1u);
+}
+
+TEST_F(ServeTest, DeadlineCancelsARunawayJob)
+{
+    JobManager manager(registry);
+    JobRequest req = endlessRequest("web");
+    req.timeoutSeconds = 0.05;
+    JobManager::Submitted sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(manager.wait(sub.id, 10.0));
+    auto st = manager.status(sub.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->state, JobState::Cancelled);
+    EXPECT_NE(st->error.find("deadline"), std::string::npos)
+        << st->error;
+}
+
+TEST_F(ServeTest, SaturatedQueueRejectsInsteadOfDeadlocking)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    JobManager manager(registry, cfg);
+
+    // Occupy the only worker...
+    JobManager::Submitted blocker = manager.submit(endlessRequest("web"));
+    ASSERT_TRUE(blocker.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(blocker.id);
+        return st && st->state == JobState::Running;
+    }));
+
+    // ...fill the admission queue...
+    JobManager::Submitted q1 = manager.submit(endlessRequest("road"));
+    JobManager::Submitted q2 = manager.submit(endlessRequest("road"));
+    ASSERT_TRUE(q1.ok());
+    ASSERT_TRUE(q2.ok());
+
+    // ...and the next submission bounces immediately.
+    JobManager::Submitted over = manager.submit(endlessRequest("web"));
+    EXPECT_FALSE(over.ok());
+    EXPECT_EQ(over.error, SubmitError::QueueFull);
+    EXPECT_EQ(manager.stats().rejected, 1u);
+
+    // Queued jobs cancel without ever running; the service stays live.
+    EXPECT_TRUE(manager.cancel(q1.id));
+    EXPECT_TRUE(manager.cancel(q2.id));
+    EXPECT_TRUE(manager.cancel(blocker.id));
+    EXPECT_TRUE(manager.wait(blocker.id, 10.0));
+    EXPECT_TRUE(manager.wait(q1.id, 10.0));
+    EXPECT_TRUE(manager.wait(q2.id, 10.0));
+    EXPECT_EQ(manager.status(q1.id)->state, JobState::Cancelled);
+
+    // Cancelled queue entries are removed lazily (when a worker pops
+    // and skips them), so a client may still see QueueFull briefly —
+    // the documented client policy is to retry.
+    JobManager::Submitted after;
+    ASSERT_TRUE(waitUntil([&] {
+        after = manager.submit(request("road", "pr", "serial"));
+        return after.ok();
+    }));
+    EXPECT_TRUE(manager.wait(after.id, 60.0));
+    EXPECT_EQ(manager.status(after.id)->state, JobState::Done);
+}
+
+TEST_F(ServeTest, RejectsUnknownGraphsAndBadRequests)
+{
+    JobManager manager(registry);
+    EXPECT_EQ(manager.submit(request("nope", "pr", "serial")).error,
+              SubmitError::UnknownGraph);
+    EXPECT_EQ(manager.submit(request("web", "nope", "serial")).error,
+              SubmitError::BadRequest);
+    EXPECT_EQ(manager.submit(request("web", "pr", "nope")).error,
+              SubmitError::BadRequest);
+
+    manager.shutdown();
+    EXPECT_EQ(manager.submit(request("web", "pr", "serial")).error,
+              SubmitError::ShuttingDown);
+}
+
+TEST_F(ServeTest, ShutdownCancelsOutstandingJobs)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    JobManager manager(registry, cfg);
+    JobManager::Submitted running = manager.submit(endlessRequest("web"));
+    JobManager::Submitted queued = manager.submit(endlessRequest("road"));
+    ASSERT_TRUE(running.ok());
+    ASSERT_TRUE(queued.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(running.id);
+        return st && st->state == JobState::Running;
+    }));
+
+    manager.shutdown();   // must terminate the endless engine run
+    EXPECT_EQ(manager.status(running.id)->state, JobState::Cancelled);
+    EXPECT_EQ(manager.status(queued.id)->state, JobState::Cancelled);
+}
+
+} // namespace
+} // namespace graphabcd

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * abcd_serve — the serve layer behind a line-oriented request protocol
+ * on stdin/stdout, one request per line, one `OK ...` or `ERR ...`
+ * reply per request.  An RPC transport later swaps the framing, not
+ * the service.
+ *
+ *   LOAD <name> <dataset-key-or-file> [scale=F] [block-size=N]
+ *        [undirected=0|1] [seed=N]
+ *   RUN <graph> <algo> [engine=serial|async|sim] [source=N]
+ *       [priority=F] [timeout=F] [tolerance=F] [schedule=S]
+ *       [threads=N] [max-epochs=F] [cached=0|1] [warm=0|1]
+ *   STATUS <job-id>
+ *   WAIT <job-id> [timeout-seconds]
+ *   CANCEL <job-id>
+ *   VALUE <job-id> <vertex>
+ *   GRAPHS | STATS | HELP | QUIT
+ *
+ * Example session (see README "Serving mode"):
+ *   > LOAD web WT scale=0.2
+ *   OK graph web vertices=47800 edges=100472 blocks=94
+ *   > RUN web pr engine=async
+ *   OK job 1
+ *   > WAIT 1
+ *   OK job 1 state=done converged=1 cachehit=0 epochs=18.00 ...
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hh"
+#include "graph/io.hh"
+#include "serve/graph_registry.hh"
+#include "serve/job_manager.hh"
+#include "serve/runner.hh"
+#include "support/flags.hh"
+
+using namespace graphabcd;
+
+namespace {
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream iss(line);
+    std::vector<std::string> out;
+    std::string tok;
+    while (iss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Parse trailing key=value tokens into a map; bare tokens rejected. */
+bool
+parseParams(const std::vector<std::string> &tokens, std::size_t first,
+            std::map<std::string, std::string> &params)
+{
+    for (std::size_t i = first; i < tokens.size(); i++) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos || eq == 0)
+            return false;
+        params[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+    return true;
+}
+
+double
+param(const std::map<std::string, std::string> &params,
+      const std::string &key, double fallback)
+{
+    auto it = params.find(key);
+    return it == params.end() ? fallback : std::stod(it->second);
+}
+
+std::string
+param(const std::map<std::string, std::string> &params,
+      const std::string &key, const std::string &fallback)
+{
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+}
+
+/** The REPL over one registry + one manager. */
+class ServeShell
+{
+  public:
+    ServeShell(GraphRegistry &registry, JobManager &manager)
+        : registry_(registry), manager_(manager)
+    {
+    }
+
+    /** @return false when the session should end. */
+    bool
+    handle(const std::string &line)
+    {
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            return true;
+        const std::string &cmd = tokens[0];
+        if (cmd == "QUIT" || cmd == "EXIT")
+            return false;
+        try {
+            if (cmd == "HELP")
+                help();
+            else if (cmd == "LOAD")
+                load(tokens);
+            else if (cmd == "RUN")
+                run(tokens);
+            else if (cmd == "STATUS")
+                status(tokens);
+            else if (cmd == "WAIT")
+                wait(tokens);
+            else if (cmd == "CANCEL")
+                cancel(tokens);
+            else if (cmd == "VALUE")
+                value(tokens);
+            else if (cmd == "GRAPHS")
+                graphs();
+            else if (cmd == "STATS")
+                stats();
+            else
+                std::printf("ERR BadCommand unknown command '%s'\n",
+                            cmd.c_str());
+        } catch (const std::exception &e) {
+            // Bad numeric arguments (stoull/stod) land here; one bad
+            // request must never take the service down.
+            std::printf("ERR BadCommand %s\n", e.what());
+        }
+        return true;
+    }
+
+  private:
+    void
+    help()
+    {
+        std::printf(
+            "OK commands: LOAD RUN STATUS WAIT CANCEL VALUE GRAPHS "
+            "STATS HELP QUIT\n");
+    }
+
+    void
+    load(const std::vector<std::string> &tokens)
+    {
+        std::map<std::string, std::string> params;
+        if (tokens.size() < 3 || !parseParams(tokens, 3, params)) {
+            std::printf("ERR BadCommand usage: LOAD <name> "
+                        "<dataset-or-file> [key=value...]\n");
+            return;
+        }
+        const std::string &name = tokens[1];
+        const std::string &src = tokens[2];
+        try {
+            EdgeList el;
+            if (src.find('.') != std::string::npos ||
+                src.find('/') != std::string::npos) {
+                el = src.size() > 4 &&
+                         src.compare(src.size() - 4, 4, ".bin") == 0
+                    ? loadEdgeListBinary(src)
+                    : loadEdgeList(src);
+            } else {
+                el = makeDataset(src, param(params, "scale", 1.0),
+                                 static_cast<std::uint64_t>(
+                                     param(params, "seed", 42.0)))
+                         .graph;
+            }
+            if (param(params, "undirected", 0.0) != 0.0)
+                el = el.symmetrized();
+            const auto block_size = static_cast<VertexId>(
+                param(params, "block-size", 512.0));
+            auto g = registry_.add(name, el, block_size);
+            std::printf(
+                "OK graph %s vertices=%u edges=%llu blocks=%u\n",
+                name.c_str(), g->numVertices(),
+                static_cast<unsigned long long>(g->numEdges()),
+                g->numBlocks());
+        } catch (const std::exception &e) {
+            std::printf("ERR LoadFailed %s\n", e.what());
+        }
+    }
+
+    void
+    run(const std::vector<std::string> &tokens)
+    {
+        std::map<std::string, std::string> params;
+        if (tokens.size() < 3 || !parseParams(tokens, 3, params)) {
+            std::printf("ERR BadCommand usage: RUN <graph> <algo> "
+                        "[key=value...]\n");
+            return;
+        }
+        JobRequest req;
+        req.graph = tokens[1];
+        req.algo = tokens[2];
+        req.engine = param(params, "engine", std::string("serial"));
+        req.source =
+            static_cast<VertexId>(param(params, "source", 0.0));
+        req.priority = param(params, "priority", 0.0);
+        req.timeoutSeconds = param(params, "timeout", 0.0);
+        req.allowCached = param(params, "cached", 1.0) != 0.0;
+        req.allowWarmStart = param(params, "warm", 1.0) != 0.0;
+        req.options.tolerance = param(params, "tolerance", 1e-7);
+        req.options.maxEpochs = param(params, "max-epochs", 10000.0);
+        req.options.numThreads =
+            static_cast<std::uint32_t>(param(params, "threads", 4.0));
+        const std::string sched =
+            param(params, "schedule", std::string("cyclic"));
+        req.options.schedule = sched == "priority" ? Schedule::Priority
+            : sched == "random"                    ? Schedule::Random
+                                                   : Schedule::Cyclic;
+
+        JobManager::Submitted sub = manager_.submit(std::move(req));
+        if (sub.ok())
+            std::printf("OK job %llu\n",
+                        static_cast<unsigned long long>(sub.id));
+        else
+            std::printf("ERR %s\n", to_string(sub.error));
+    }
+
+    void
+    printStatus(const JobStatus &st)
+    {
+        std::printf(
+            "OK job %llu state=%s converged=%d cachehit=%d warm=%d "
+            "epochs=%.2f blocks=%llu edges=%llu queued=%.3fs "
+            "run=%.3fs%s%s\n",
+            static_cast<unsigned long long>(st.id),
+            to_string(st.state), st.converged ? 1 : 0,
+            st.cacheHit ? 1 : 0, st.warmStarted ? 1 : 0, st.epochs,
+            static_cast<unsigned long long>(st.blockUpdates),
+            static_cast<unsigned long long>(st.edgeTraversals),
+            st.queuedSeconds, st.runSeconds,
+            st.error.empty() ? "" : " error=",
+            st.error.empty() ? "" : st.error.c_str());
+    }
+
+    bool
+    parseId(const std::vector<std::string> &tokens, JobId &id)
+    {
+        if (tokens.size() < 2) {
+            std::printf("ERR BadCommand missing job id\n");
+            return false;
+        }
+        id = static_cast<JobId>(std::stoull(tokens[1]));
+        return true;
+    }
+
+    void
+    status(const std::vector<std::string> &tokens)
+    {
+        JobId id;
+        if (!parseId(tokens, id))
+            return;
+        if (auto st = manager_.status(id))
+            printStatus(*st);
+        else
+            std::printf("ERR NotFound no job %llu\n",
+                        static_cast<unsigned long long>(id));
+    }
+
+    void
+    wait(const std::vector<std::string> &tokens)
+    {
+        JobId id;
+        if (!parseId(tokens, id))
+            return;
+        const double timeout =
+            tokens.size() > 2 ? std::stod(tokens[2]) : -1.0;
+        if (!manager_.wait(id, timeout)) {
+            std::printf("ERR Timeout job %llu still running\n",
+                        static_cast<unsigned long long>(id));
+            return;
+        }
+        if (auto st = manager_.status(id))
+            printStatus(*st);
+        else
+            std::printf("ERR NotFound no job %llu\n",
+                        static_cast<unsigned long long>(id));
+    }
+
+    void
+    cancel(const std::vector<std::string> &tokens)
+    {
+        JobId id;
+        if (!parseId(tokens, id))
+            return;
+        if (manager_.cancel(id))
+            std::printf("OK cancelling %llu\n",
+                        static_cast<unsigned long long>(id));
+        else
+            std::printf("ERR NotFound job %llu unknown or terminal\n",
+                        static_cast<unsigned long long>(id));
+    }
+
+    void
+    value(const std::vector<std::string> &tokens)
+    {
+        JobId id;
+        if (!parseId(tokens, id))
+            return;
+        if (tokens.size() < 3) {
+            std::printf("ERR BadCommand usage: VALUE <job> <vertex>\n");
+            return;
+        }
+        auto result = manager_.result(id);
+        if (!result) {
+            std::printf("ERR NotFound job %llu has no result\n",
+                        static_cast<unsigned long long>(id));
+            return;
+        }
+        const auto v =
+            static_cast<std::size_t>(std::stoull(tokens[2]));
+        if (v >= result->values.size()) {
+            std::printf("ERR BadCommand vertex %zu out of range\n", v);
+            return;
+        }
+        std::printf("OK value %zu %.10g\n", v, result->values[v]);
+    }
+
+    void
+    graphs()
+    {
+        const auto infos = registry_.list();
+        std::printf("OK %zu graphs\n", infos.size());
+        for (const auto &info : infos) {
+            std::printf("  %s vertices=%u edges=%llu blocks=%u "
+                        "refs=%ld\n",
+                        info.name.c_str(), info.vertices,
+                        static_cast<unsigned long long>(info.edges),
+                        info.blocks, info.useCount);
+        }
+    }
+
+    void
+    stats()
+    {
+        const ServeStats s = manager_.stats();
+        const ResultCache::Stats c = manager_.cache().stats();
+        std::printf(
+            "OK submitted=%llu rejected=%llu completed=%llu "
+            "cancelled=%llu failed=%llu cachehits=%llu "
+            "warmstarts=%llu queued=%zu running=%zu hitrate=%.2f\n",
+            static_cast<unsigned long long>(s.submitted),
+            static_cast<unsigned long long>(s.rejected),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.cancelled),
+            static_cast<unsigned long long>(s.failed),
+            static_cast<unsigned long long>(s.cacheHits),
+            static_cast<unsigned long long>(s.warmStarts),
+            s.queueDepth, s.running, c.hitRate());
+    }
+
+    GraphRegistry &registry_;
+    JobManager &manager_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags;
+    flags.declareInt("workers", 2, "service worker threads");
+    flags.declareInt("queue", 16, "admission queue capacity");
+    flags.declareInt("cache", 64, "result cache entries");
+    flags.declareDouble("ttl", 300.0, "result cache TTL seconds");
+    flags.declareBool("echo", false, "echo commands (for transcripts)");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    ServeConfig cfg;
+    cfg.workers = static_cast<std::uint32_t>(flags.getInt("workers"));
+    cfg.queueCapacity =
+        static_cast<std::size_t>(flags.getInt("queue"));
+    cfg.cacheCapacity =
+        static_cast<std::size_t>(flags.getInt("cache"));
+    cfg.cacheTtlSeconds = flags.getDouble("ttl");
+
+    GraphRegistry registry;
+    JobManager manager(registry, cfg);
+    ServeShell shell(registry, manager);
+    const bool echo = flags.getBool("echo");
+
+    std::printf("OK abcd_serve ready (workers=%u queue=%zu cache=%zu)\n",
+                cfg.workers, cfg.queueCapacity, cfg.cacheCapacity);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (echo)
+            std::printf("> %s\n", line.c_str());
+        if (!shell.handle(line))
+            break;
+        std::fflush(stdout);
+    }
+    manager.shutdown();
+    std::printf("OK bye\n");
+    return 0;
+}

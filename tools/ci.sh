@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: configure, build, and test under a CMake
+# preset (default: "default").  Usage:
+#
+#   tools/ci.sh            # release build + full ctest
+#   tools/ci.sh asan       # AddressSanitizer+UBSan build + ctest
+#   tools/ci.sh tsan       # ThreadSanitizer build + ctest
+set -euo pipefail
+
+preset="${1:-default}"
+cd "$(dirname "$0")/.."
+
+echo "== configure (${preset}) =="
+cmake --preset "${preset}"
+
+echo "== build (${preset}) =="
+cmake --build --preset "${preset}" -j "$(nproc)"
+
+echo "== test (${preset}) =="
+ctest --preset "${preset}"
+
+echo "== ${preset}: OK =="
