@@ -33,6 +33,7 @@
 #include "core/scheduler.hh"
 #include "core/vertex_program.hh"
 #include "graph/partition.hh"
+#include "obs/obs.hh"
 #include "runtime/task_queue.hh"
 #include "support/timer.hh"
 
@@ -144,13 +145,13 @@ class AsyncEngine
                 auto positions = graph.scatterPositions(v);
                 if (positions.empty())
                     continue;
-                Value ev = program.edgeValue(v, next, graph);
-                const double edge_delta = program.delta(
-                    positions.empty()
-                        ? ev
-                        : edgeValues[positions.front()].load(
-                              std::memory_order_relaxed),
-                    ev);
+                // Read the outgoing edges' previous value before the
+                // stores below overwrite it: the activation priority is
+                // old-vs-new, not new-vs-new.
+                const Value old_ev = edgeValues[positions.front()].load(
+                    std::memory_order_relaxed);
+                const Value ev = program.edgeValue(v, next, graph);
+                const double edge_delta = program.delta(old_ev, ev);
                 for (EdgeId pos : positions) {
                     edgeValues[pos].store(ev, std::memory_order_relaxed);
                     activations.emplace_back(
@@ -171,8 +172,16 @@ class AsyncEngine
         for (BlockId b = 0; b < graph.numBlocks(); b++)
             sched->activate(b, initialActivationPriority());
 
-        // Bounded queue: bounds staleness (paper Sec. III-D).
-        TaskQueue<BlockId> work(options.numThreads * 4);
+        // Bounded queue: bounds staleness (paper Sec. III-D).  Each
+        // item carries the global block-update count at dispatch time;
+        // the consumer-side difference is the measured staleness, which
+        // the FIFO bound keeps at <= queue capacity + numThreads.
+        struct WorkItem
+        {
+            BlockId block;
+            std::uint64_t stamp;
+        };
+        TaskQueue<WorkItem> work(options.numThreads * 4);
         std::mutex ctl;
         std::condition_variable ctlCv;
         std::size_t inflight = 0;
@@ -181,9 +190,33 @@ class AsyncEngine
         std::atomic<std::uint64_t> edge_traversals{0};
         std::atomic<std::uint64_t> scatter_writes{0};
 
+        // Resolve metrics once per run; recording is per block.
+        obs::Histogram &gasHist = obs::histogram(
+            "engine.async.block_gas_us", obs::latencyBucketsUs());
+        obs::Histogram &fanoutHist = obs::histogram(
+            "engine.async.scatter_fanout", obs::fanoutBuckets());
+        obs::Histogram &staleHist = obs::histogram(
+            "engine.async.staleness_blocks", obs::stalenessBuckets());
+        work.attachDepthGauge(&obs::gauge("engine.async.queue_depth"));
+        if constexpr (obs::kEnabled) {
+            // Measure staleness inside the pop critical section: only
+            // items dispatched before this one can have committed by
+            // then, so the reading obeys the FIFO bound of
+            // queue capacity + in-flight workers (paper Sec. III-D).
+            // Read after pop() returns, it can be inflated without
+            // bound by later items committing while this worker is
+            // preempted.
+            work.attachPopObserver([&](const WorkItem &item) {
+                staleHist.record(static_cast<double>(
+                    block_updates.load(std::memory_order_relaxed) -
+                    item.stamp));
+            });
+        }
+
         auto worker = [&] {
             std::vector<std::pair<BlockId, double>> activations;
-            while (auto b = work.pop()) {
+            while (auto item = work.pop()) {
+                const BlockId b = item->block;
                 // Cooperative cancellation: a stopped worker still
                 // drains its queue entries (the inflight accounting
                 // must balance) but skips the GAS work, so all workers
@@ -191,20 +224,25 @@ class AsyncEngine
                 if (options.stop.stopRequested()) {
                     activations.clear();
                 } else {
-                    auto [chg, l1] = processAndCommit(*b, activations);
-                    (void)chg;
-                    (void)l1;
-                    vertex_updates.fetch_add(graph.blockVertexCount(*b),
+                    {
+                        obs::ScopedLatency lat(gasHist);
+                        auto [chg, l1] = processAndCommit(b, activations);
+                        (void)chg;
+                        (void)l1;
+                    }
+                    fanoutHist.record(
+                        static_cast<double>(activations.size()));
+                    vertex_updates.fetch_add(graph.blockVertexCount(b),
                                              std::memory_order_relaxed);
                     block_updates.fetch_add(1, std::memory_order_relaxed);
-                    edge_traversals.fetch_add(graph.blockEdgeCount(*b),
+                    edge_traversals.fetch_add(graph.blockEdgeCount(b),
                                               std::memory_order_relaxed);
                     scatter_writes.fetch_add(activations.size(),
                                              std::memory_order_relaxed);
                     if (options.progress) {
                         options.progress->accumulate(
-                            graph.blockVertexCount(*b), 1,
-                            graph.blockEdgeCount(*b));
+                            graph.blockVertexCount(b), 1,
+                            graph.blockEdgeCount(b), activations.size());
                     }
                 }
                 {
@@ -247,7 +285,12 @@ class AsyncEngine
                 }
                 inflight++;
                 lock.unlock();
-                work.push(*b);
+                std::uint64_t stamp = 0;
+                if constexpr (obs::kEnabled) {
+                    stamp =
+                        block_updates.load(std::memory_order_relaxed);
+                }
+                work.push({*b, stamp});
                 if (barrier_per_wave) {
                     // Memory barrier after each block's GAS processing
                     // (the paper's 'Barrier' baseline).
@@ -277,7 +320,22 @@ class AsyncEngine
             // does not mean quiescence here.
             report.converged = !report.stopped && sched->empty();
         }
+        flushSchedulerCounters(*sched);
         return report;
+    }
+
+    /** Fold a finished run's scheduler counters into the registry. */
+    static void
+    flushSchedulerCounters(const BlockScheduler &sched)
+    {
+        if constexpr (obs::kEnabled) {
+            const SchedulerCounters c = sched.counters();
+            obs::counter("scheduler.activations").add(c.activations);
+            obs::counter("scheduler.heap_pushes").add(c.heapPushes);
+            obs::counter("scheduler.stale_discards")
+                .add(c.staleDiscards);
+            obs::counter("scheduler.refreshes").add(c.refreshes);
+        }
     }
 
     EngineReport
@@ -329,12 +387,14 @@ class AsyncEngine
             if (options.progress) {
                 options.progress->publish(report.vertexUpdates,
                                           report.blockUpdates,
-                                          report.edgeTraversals);
+                                          report.edgeTraversals,
+                                          report.scatterWrites);
             }
             if (report.epochs >= options.maxEpochs)
                 break;
         }
         report.converged = !report.stopped && sched->empty();
+        flushSchedulerCounters(*sched);
         return report;
     }
 
@@ -379,12 +439,11 @@ class AsyncEngine
                 auto positions = graph.scatterPositions(v);
                 if (positions.empty())
                     continue;
-                Value ev = program.edgeValue(v, update.newValues[i],
-                                             graph);
-                const double edge_delta = program.delta(
-                    edgeValues[positions.front()].load(
-                        std::memory_order_relaxed),
-                    ev);
+                const Value old_ev = edgeValues[positions.front()].load(
+                    std::memory_order_relaxed);
+                const Value ev = program.edgeValue(v, update.newValues[i],
+                                                   graph);
+                const double edge_delta = program.delta(old_ev, ev);
                 for (EdgeId pos : positions) {
                     edgeValues[pos].store(ev, std::memory_order_relaxed);
                     sched.activate(graph.blockOf(graph.edgeDst(pos)),

@@ -30,6 +30,7 @@
 #include "core/state.hh"
 #include "core/vertex_program.hh"
 #include "graph/partition.hh"
+#include "obs/obs.hh"
 #include "support/timer.hh"
 
 namespace graphabcd {
@@ -133,7 +134,8 @@ class SerialEngine
         if (options.progress) {
             options.progress->publish(report.vertexUpdates,
                                       report.blockUpdates,
-                                      report.edgeTraversals);
+                                      report.edgeTraversals,
+                                      report.scatterWrites);
         }
     }
     /** Initial activation: every block at the same large priority. */
@@ -172,15 +174,28 @@ class SerialEngine
                                    options.seed);
         seedScheduler(*sched);
 
+        // Resolve metrics once per run; recording is per block.
+        obs::Histogram &gasHist = obs::histogram(
+            "engine.serial.block_gas_us", obs::latencyBucketsUs());
+        obs::Histogram &fanoutHist = obs::histogram(
+            "engine.serial.scatter_fanout", obs::fanoutBuckets());
+
         double next_trace = options.traceInterval;
+        BlockUpdate<Value> update;
         while (auto b = sched->next()) {
-            BlockUpdate<Value> update =
-                state.processBlock(graph, program, *b, options.tolerance);
-            report.scatterWrites += state.commitBlock(
-                graph, program, update, options.tolerance,
-                [&sched](BlockId dst, double delta) {
-                    sched->activate(dst, delta);
-                });
+            std::uint64_t block_scatter = 0;
+            {
+                obs::ScopedLatency lat(gasHist);
+                update = state.processBlock(graph, program, *b,
+                                            options.tolerance);
+                block_scatter = state.commitBlock(
+                    graph, program, update, options.tolerance,
+                    [&sched](BlockId dst, double delta) {
+                        sched->activate(dst, delta);
+                    });
+            }
+            fanoutHist.record(static_cast<double>(block_scatter));
+            report.scatterWrites += block_scatter;
             report.blockUpdates++;
             report.vertexUpdates += update.newValues.size();
             report.edgeTraversals += graph.blockEdgeCount(*b);

@@ -17,6 +17,7 @@ void
 CyclicScheduler::activate(BlockId b, double)
 {
     GRAPHABCD_ASSERT(b < active.size(), "block id out of range");
+    stats.activations++;
     if (!active[b]) {
         active[b] = 1;
         nActive++;
@@ -53,7 +54,14 @@ void
 PriorityScheduler::activate(BlockId b, double priority_delta)
 {
     GRAPHABCD_ASSERT(b < active.size(), "block id out of range");
-    prio[b] += priority_delta;
+    stats.activations++;
+    // A gradient estimate cannot shrink from new scatter input: clamp
+    // non-positive deltas.  Without the clamp a negative delta drives
+    // prio[b] below pushedPrio[b] (or below zero), which defeats the
+    // 25% growth test below and refreshes the heap on every call —
+    // exactly the churn the throttle exists to prevent.
+    if (priority_delta > 0.0)
+        prio[b] += priority_delta;
     const bool was_active = active[b];
     if (!was_active) {
         active[b] = 1;
@@ -64,9 +72,12 @@ PriorityScheduler::activate(BlockId b, double priority_delta)
     // scatter storms otherwise push one entry per written edge.  The
     // live entry of a block is the one whose key equals pushedPrio.
     if (!was_active || prio[b] > pushedPrio[b] * 1.25) {
+        if (was_active)
+            stats.refreshes++;
         pushedPrio[b] = prio[b];
         heap.push_back(HeapEntry{prio[b], b});
         std::push_heap(heap.begin(), heap.end());
+        stats.heapPushes++;
     }
 }
 
@@ -78,8 +89,10 @@ PriorityScheduler::next()
         HeapEntry top = heap.back();
         heap.pop_back();
         if (!active[top.block] ||
-            top.priority != pushedPrio[top.block])
+            top.priority != pushedPrio[top.block]) {
+            stats.staleDiscards++;
             continue;   // stale
+        }
         active[top.block] = 0;
         prio[top.block] = 0.0;   // processed: gradient estimate consumed
         pushedPrio[top.block] = 0.0;
@@ -101,6 +114,7 @@ void
 RandomScheduler::activate(BlockId b, double)
 {
     GRAPHABCD_ASSERT(b < slot.size(), "block id out of range");
+    stats.activations++;
     if (slot[b] != npos)
         return;
     slot[b] = static_cast<std::uint32_t>(pool.size());

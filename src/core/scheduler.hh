@@ -16,6 +16,7 @@
 #ifndef GRAPHABCD_CORE_SCHEDULER_HH
 #define GRAPHABCD_CORE_SCHEDULER_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -25,6 +26,20 @@
 #include "support/random.hh"
 
 namespace graphabcd {
+
+/**
+ * Cumulative work counters a scheduler maintains over its lifetime.
+ * Plain (non-atomic) fields: every scheduler call already happens under
+ * the engine's control lock.  heapPushes / staleDiscards / refreshes
+ * measure heap churn and are only meaningful for PriorityScheduler.
+ */
+struct SchedulerCounters
+{
+    std::uint64_t activations = 0;   //!< activate() calls
+    std::uint64_t heapPushes = 0;    //!< entries pushed into the heap
+    std::uint64_t staleDiscards = 0; //!< lazy-deleted entries seen by next()
+    std::uint64_t refreshes = 0;     //!< re-pushes of already-active blocks
+};
 
 /**
  * Abstract block scheduler.  All implementations are deterministic given
@@ -57,8 +72,14 @@ class BlockScheduler
     /** @return current priority estimate of block b (0 if unsupported). */
     virtual double priority(BlockId) const { return 0.0; }
 
+    /** @return cumulative work counters (heap fields 0 if heapless). */
+    const SchedulerCounters &counters() const { return stats; }
+
     /** @return the strategy this scheduler implements. */
     virtual Schedule kind() const = 0;
+
+  protected:
+    SchedulerCounters stats;
 };
 
 /**

@@ -43,6 +43,7 @@
 #include "harp/config.hh"
 #include "harp/event_queue.hh"
 #include "harp/report.hh"
+#include "obs/obs.hh"
 #include "support/timer.hh"
 
 namespace graphabcd {
@@ -140,6 +141,22 @@ class HarpSystem
             for (const Bus &bus : buses)
                 bus_util += bus.utilization(horizon);
             report.busUtilization = bus_util / buses.size();
+            if constexpr (obs::kEnabled) {
+                obs::gauge("harp.pe_utilization")
+                    .set(report.peUtilization);
+                obs::gauge("harp.cpu_utilization")
+                    .set(report.cpuUtilization);
+                obs::gauge("harp.bus_utilization")
+                    .set(report.busUtilization);
+                obs::Histogram &peHist = obs::histogram(
+                    "harp.pe_busy_fraction", obs::fractionBuckets());
+                for (double b : peBusy)
+                    peHist.record(b / horizon);
+                obs::counter("harp.bus_read_bytes")
+                    .add(report.busReadBytes);
+                obs::counter("harp.bus_write_bytes")
+                    .add(report.busWriteBytes);
+            }
         }
         out_values = state->values();
         return report;
@@ -428,7 +445,8 @@ class HarpSystem
         if (engineOpt.progress) {
             engineOpt.progress->publish(report.vertexUpdates,
                                         report.blockUpdates,
-                                        report.edgeTraversals);
+                                        report.edgeTraversals,
+                                        report.scatterWrites);
         }
         checkStop();
         if (engineOpt.mode == ExecMode::Barrier) {

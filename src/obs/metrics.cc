@@ -1,0 +1,151 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+// ------------------------------------------------------------ Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    GRAPHABCD_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must ascend");
+}
+
+std::size_t
+Histogram::bucketIndex(double x) const
+{
+    // First bucket whose upper bound admits x; the overflow bucket
+    // (index bounds_.size()) catches everything beyond the last bound.
+    return static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), x) -
+        bounds_.begin());
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.bounds = bounds_;
+    snap.counts.reserve(buckets_.size());
+    for (const auto &b : buckets_)
+        snap.counts.push_back(b.load(std::memory_order_relaxed));
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    if (snap.count > 0) {
+        snap.min = min_.load(std::memory_order_relaxed);
+        snap.max = max_.load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+double
+Histogram::Snapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); i++) {
+        seen += counts[i];
+        if (seen > rank)
+            return i < bounds.size() ? bounds[i] : max;
+    }
+    return max;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(upper_bounds));
+    return *slot;
+}
+
+std::string
+MetricsRegistry::dump() const
+{
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (const auto &[name, c] : counters_)
+        os << "counter " << name << " " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << "gauge " << name << " " << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        const Histogram::Snapshot snap = h->snapshot();
+        os << "hist " << name << " count=" << snap.count
+           << " sum=" << snap.sum << " mean=" << snap.mean()
+           << " min=" << snap.min << " max=" << snap.max
+           << " p50=" << snap.quantile(0.5)
+           << " p99=" << snap.quantile(0.99) << "\n";
+    }
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace graphabcd

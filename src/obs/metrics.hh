@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges, and fixed-bucket histograms
+ * cheap enough to live on engine hot paths.
+ *
+ * The paper's headline results are mechanism claims — fewer epochs from
+ * priority scheduling (Fig. 7), bounded staleness from the bounded task
+ * queue (Sec. III-D), bandwidth-bound PEs (Fig. 8/9) — and none of them
+ * are observable from end-of-run totals alone.  This registry holds the
+ * live view: every metric is a single relaxed atomic (or a short array
+ * of them for histogram buckets), so recording never takes a lock and
+ * never synchronises writers.  Aggregation (dump/snapshot) pays the
+ * cost instead, which is the right trade for monitoring data.
+ *
+ * Registration (name lookup) takes a mutex and returns a reference that
+ * stays valid for the registry's lifetime — resolve metrics once per
+ * run, not once per record.  Instrumentation call sites should go
+ * through the obs:: facade (obs/obs.hh), which compiles to nothing when
+ * GRAPHABCD_OBS_ENABLED is 0.
+ */
+
+#ifndef GRAPHABCD_OBS_METRICS_HH
+#define GRAPHABCD_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphabcd {
+
+namespace detail {
+
+/** Relaxed add on an atomic double (portable CAS; fetch_add(double)
+ *  is C++20 but not universally lock-free). */
+inline void
+atomicAdd(std::atomic<double> &target, double x)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + x,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+/** Relaxed monotonic min update. */
+inline void
+atomicMin(std::atomic<double> &target, double x)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (x < cur && !target.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed))
+        ;
+}
+
+/** Relaxed monotonic max update. */
+inline void
+atomicMax(std::atomic<double> &target, double x)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (x > cur && !target.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed))
+        ;
+}
+
+} // namespace detail
+
+/** Monotonic event count.  add() is one relaxed fetch_add. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (queue depth, utilization). */
+class Gauge
+{
+  public:
+    void
+    set(double x)
+    {
+        value_.store(x, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram.  The bucket layout is immutable after
+ * construction, so record() is a binary search over plain doubles plus
+ * relaxed fetch_adds — no locks, no allocation, safe from any thread.
+ *
+ * Bucket i counts samples x with bounds[i-1] < x <= bounds[i]; one
+ * implicit overflow bucket catches everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    /** Aggregated view; taken with relaxed loads (monitoring data). */
+    struct Snapshot
+    {
+        std::vector<double> bounds;        //!< upper bounds, ascending
+        std::vector<std::uint64_t> counts; //!< bounds.size() + 1 buckets
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;   //!< meaningful only when count > 0
+        double max = 0.0;   //!< meaningful only when count > 0
+
+        double
+        mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
+
+        /**
+         * @return an upper estimate of the q-quantile: the upper bound
+         * of the bucket holding the q*count-th sample (max for the
+         * overflow bucket).  q in [0, 1].
+         */
+        double quantile(double q) const;
+    };
+
+    /** @param upper_bounds strictly ascending bucket upper bounds. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Count one sample; lock-free and wait-free on x86/arm. */
+    void
+    record(double x)
+    {
+        buckets_[bucketIndex(x)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        detail::atomicAdd(sum_, x);
+        detail::atomicMin(min_, x);
+        detail::atomicMax(max_, x);
+    }
+
+    Snapshot snapshot() const;
+    void reset();
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double
+    max() const
+    {
+        return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+    }
+
+  private:
+    std::size_t bucketIndex(double x) const;
+
+    const std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+/**
+ * Name -> metric store.  Metrics are created on first use and never
+ * destroyed before the registry, so returned references are stable and
+ * safe to cache across a whole run.  One process-wide instance backs
+ * the obs:: facade; separate instances exist only for tests.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry (what STATS dumps). */
+    static MetricsRegistry &global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * @param upper_bounds used only when the histogram does not exist
+     * yet; a second registration under the same name returns the
+     * existing histogram with its original buckets.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upper_bounds);
+
+    /**
+     * One line per metric, sorted by name:
+     *   counter <name> <value>
+     *   gauge <name> <value>
+     *   hist <name> count=N sum=S mean=M min=m max=X p50=... p99=...
+     */
+    std::string dump() const;
+
+    /** Zero every metric (references stay valid).  For tests/RESET. */
+    void reset();
+
+  private:
+    mutable std::mutex mtx_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_METRICS_HH

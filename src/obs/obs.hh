@@ -1,0 +1,245 @@
+/**
+ * @file
+ * obs:: — the facade instrumentation sites use.
+ *
+ * With GRAPHABCD_OBS_ENABLED=1 (the default, and the CMake option
+ * GRAPHABCD_OBS), obs::counter/gauge/histogram resolve against the
+ * process-wide MetricsRegistry and obs::Span records into the global
+ * TraceRecorder.  With GRAPHABCD_OBS_ENABLED=0 every facade type is an
+ * empty inline no-op, so instrumented code compiles to exactly the
+ * uninstrumented hot loop — no clock reads, no atomics, no branches —
+ * which is how bench/ numbers stay comparable across the flag.
+ *
+ * Call-site rules:
+ *  - resolve metrics once per run (registration takes a mutex), record
+ *    per block — never per edge;
+ *  - wrap timed regions in obs::ScopedLatency / obs::Span so the
+ *    disabled build also skips the clock reads;
+ *  - use `if constexpr (obs::kEnabled)` around set-up work (e.g.
+ *    stamping) whose only consumer is a metric.
+ */
+
+#ifndef GRAPHABCD_OBS_OBS_HH
+#define GRAPHABCD_OBS_OBS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef GRAPHABCD_OBS_ENABLED
+#define GRAPHABCD_OBS_ENABLED 1
+#endif
+
+#if GRAPHABCD_OBS_ENABLED
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "support/timer.hh"
+#endif
+
+namespace graphabcd {
+namespace obs {
+
+#if GRAPHABCD_OBS_ENABLED
+
+inline constexpr bool kEnabled = true;
+
+using Counter = ::graphabcd::Counter;
+using Gauge = ::graphabcd::Gauge;
+using Histogram = ::graphabcd::Histogram;
+
+inline Counter &
+counter(const char *name)
+{
+    return MetricsRegistry::global().counter(name);
+}
+
+inline Gauge &
+gauge(const char *name)
+{
+    return MetricsRegistry::global().gauge(name);
+}
+
+inline Histogram &
+histogram(const char *name, std::vector<double> upper_bounds)
+{
+    return MetricsRegistry::global().histogram(name,
+                                               std::move(upper_bounds));
+}
+
+/** Span against the global TraceRecorder. */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+        : span_(TraceRecorder::global(), name)
+    {
+    }
+
+  private:
+    TraceSpan span_;
+};
+
+inline void
+instant(const char *name)
+{
+    TraceRecorder::global().instant(name);
+}
+
+/** Records elapsed microseconds into a histogram on scope exit. */
+class ScopedLatency
+{
+  public:
+    explicit ScopedLatency(Histogram &hist) : hist_(hist) {}
+    ~ScopedLatency() { hist_.record(timer_.micros()); }
+
+    ScopedLatency(const ScopedLatency &) = delete;
+    ScopedLatency &operator=(const ScopedLatency &) = delete;
+
+  private:
+    Histogram &hist_;
+    Timer timer_;
+};
+
+/** @return the whole registry rendered as text (STATS verb). */
+inline std::string
+dumpMetrics()
+{
+    return MetricsRegistry::global().dump();
+}
+
+/** Turn global trace recording on or off. */
+inline void
+setTracingEnabled(bool on)
+{
+    TraceRecorder::global().setEnabled(on);
+}
+
+/** @return buffered trace events across all threads. */
+inline std::size_t
+traceEventCount()
+{
+    return TraceRecorder::global().eventCount();
+}
+
+/** Export the global trace as Chrome trace_event JSON. */
+inline bool
+writeTrace(const std::string &path)
+{
+    return TraceRecorder::global().writeChromeTrace(path);
+}
+
+#else // !GRAPHABCD_OBS_ENABLED
+
+inline constexpr bool kEnabled = false;
+
+// No-op doubles: same call surface, empty bodies, shared static
+// instances.  The optimiser removes every call site.
+struct Counter
+{
+    void add(std::uint64_t = 1) const {}
+    std::uint64_t value() const { return 0; }
+};
+
+struct Gauge
+{
+    void set(double) const {}
+    double value() const { return 0.0; }
+};
+
+struct Histogram
+{
+    void record(double) const {}
+};
+
+inline Counter &
+counter(const char *)
+{
+    static Counter c;
+    return c;
+}
+
+inline Gauge &
+gauge(const char *)
+{
+    static Gauge g;
+    return g;
+}
+
+inline Histogram &
+histogram(const char *, std::vector<double>)
+{
+    static Histogram h;
+    return h;
+}
+
+struct Span
+{
+    explicit Span(const char *) {}
+};
+
+inline void
+instant(const char *)
+{
+}
+
+struct ScopedLatency
+{
+    explicit ScopedLatency(Histogram &) {}
+};
+
+inline std::string
+dumpMetrics()
+{
+    return {};
+}
+
+inline void
+setTracingEnabled(bool)
+{
+}
+
+inline std::size_t
+traceEventCount()
+{
+    return 0;
+}
+
+inline bool
+writeTrace(const std::string &)
+{
+    return false;
+}
+
+#endif // GRAPHABCD_OBS_ENABLED
+
+/** Shared bucket layouts, so dashboards can compare like with like. */
+inline std::vector<double>
+latencyBucketsUs()
+{
+    return {1,    2,    5,     10,    20,    50,    100,   200,
+            500,  1000, 2000,  5000,  10000, 20000, 50000, 100000,
+            200000, 500000, 1000000};
+}
+
+inline std::vector<double>
+fanoutBuckets()
+{
+    return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096};
+}
+
+inline std::vector<double>
+stalenessBuckets()
+{
+    return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+inline std::vector<double>
+fractionBuckets()
+{
+    return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+} // namespace obs
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_OBS_HH

@@ -1,0 +1,152 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace graphabcd {
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder instance;
+    return instance;
+}
+
+TraceRecorder::TraceRecorder(std::size_t events_per_thread)
+    : ringCapacity_(events_per_thread == 0 ? 1 : events_per_thread)
+{
+}
+
+TraceRecorder::Ring &
+TraceRecorder::threadRing()
+{
+    // One cached ring per (thread, recorder) pair; a thread that talks
+    // to several recorders re-registers on each switch, which only
+    // happens in tests.
+    struct Cache
+    {
+        TraceRecorder *owner = nullptr;
+        std::shared_ptr<Ring> ring;
+    };
+    thread_local Cache cache;
+    if (cache.owner != this) {
+        std::lock_guard<std::mutex> lock(registerMtx_);
+        auto ring = std::make_shared<Ring>(
+            ringCapacity_, static_cast<std::uint32_t>(rings_.size()));
+        rings_.push_back(ring);
+        cache.owner = this;
+        cache.ring = std::move(ring);
+    }
+    return *cache.ring;
+}
+
+void
+TraceRecorder::push(const TraceEvent &event)
+{
+    Ring &ring = threadRing();
+    std::lock_guard<std::mutex> lock(ring.mtx);
+    ring.events[ring.next] = event;
+    ring.next++;
+    if (ring.next == ring.events.size()) {
+        ring.next = 0;
+        ring.wrapped = true;
+    }
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    std::size_t total = 0;
+    std::lock_guard<std::mutex> reg(registerMtx_);
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> lock(ring->mtx);
+        total += ring->wrapped ? ring->events.size() : ring->next;
+    }
+    return total;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> reg(registerMtx_);
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> lock(ring->mtx);
+        ring->next = 0;
+        ring->wrapped = false;
+    }
+}
+
+namespace {
+
+/** Event names are library-controlled literals, but escape defensively
+ *  so a stray quote can never produce unloadable JSON. */
+void
+writeJsonString(std::ostream &os, const char *s)
+{
+    os << '"';
+    for (; *s; s++) {
+        if (*s == '"' || *s == '\\')
+            os << '\\';
+        os << *s;
+    }
+    os << '"';
+}
+
+struct FlatEvent
+{
+    TraceEvent event;
+    std::uint32_t tid;
+};
+
+} // namespace
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os) const
+{
+    std::vector<FlatEvent> all;
+    {
+        std::lock_guard<std::mutex> reg(registerMtx_);
+        for (const auto &ring : rings_) {
+            std::lock_guard<std::mutex> lock(ring->mtx);
+            const std::size_t n =
+                ring->wrapped ? ring->events.size() : ring->next;
+            for (std::size_t i = 0; i < n; i++)
+                all.push_back(FlatEvent{ring->events[i], ring->tid});
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const FlatEvent &a, const FlatEvent &b) {
+                  return a.event.tsMicros < b.event.tsMicros;
+              });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const FlatEvent &fe : all) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":";
+        writeJsonString(os, fe.event.name);
+        os << ",\"ph\":\"" << fe.event.phase << "\"";
+        os << ",\"ts\":" << fe.event.tsMicros;
+        if (fe.event.phase == 'X')
+            os << ",\"dur\":" << fe.event.durMicros;
+        else if (fe.event.phase == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"pid\":0,\"tid\":" << fe.tid << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace graphabcd

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * TraceRecorder — begin/end spans and instant events in per-thread ring
+ * buffers, exported as Chrome/Perfetto `trace_event` JSON.
+ *
+ * Each recording thread owns one fixed-capacity ring buffer (acquired
+ * on first use and kept alive by the recorder even after the thread
+ * exits, since engine workers are per-run).  A ring is written only by
+ * its owner and read only during export, guarded by a per-ring mutex
+ * that is uncontended in steady state — recording costs one relaxed
+ * enabled-check, two steady_clock reads and one uncontended lock, all
+ * at block granularity, never per edge.
+ *
+ * Spans are stored as Chrome "X" complete events (timestamp + duration
+ * recorded at span end), so a wrapped ring never leaves an unmatched
+ * begin behind; instant events use phase "i".  The exported file loads
+ * directly in chrome://tracing and ui.perfetto.dev.
+ *
+ * Event names must be string literals (the recorder stores the
+ * pointer, not a copy).
+ */
+
+#ifndef GRAPHABCD_OBS_TRACE_HH
+#define GRAPHABCD_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.hh"
+
+namespace graphabcd {
+
+/** One recorded event (32 bytes). */
+struct TraceEvent
+{
+    const char *name = nullptr; //!< static string
+    double tsMicros = 0.0;      //!< start time, process-relative
+    double durMicros = 0.0;     //!< span length; 0 for instants
+    char phase = 'X';           //!< 'X' complete span, 'i' instant
+};
+
+/** Per-thread ring buffers + Chrome trace_event JSON export. */
+class TraceRecorder
+{
+  public:
+    /** The process-wide recorder (what the TRACE verb exports). */
+    static TraceRecorder &global();
+
+    /** @param events_per_thread ring capacity; oldest events overwritten. */
+    explicit TraceRecorder(std::size_t events_per_thread = 1 << 14);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Recording is off until enabled; a disabled record() is one
+     *  relaxed load and no clock read. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** @return microseconds since the process-local monotonic epoch. */
+    static double nowMicros() { return monotonicSeconds() * 1e6; }
+
+    /** Record a finished span (no-op while disabled). */
+    void
+    complete(const char *name, double start_us, double dur_us)
+    {
+        if (enabled())
+            push(TraceEvent{name, start_us, dur_us, 'X'});
+    }
+
+    /** Record an instant event (no-op while disabled). */
+    void
+    instant(const char *name)
+    {
+        if (enabled())
+            push(TraceEvent{name, nowMicros(), 0.0, 'i'});
+    }
+
+    /** @return retained events across all thread rings. */
+    std::size_t eventCount() const;
+
+    /** Drop all retained events (rings stay registered). */
+    void clear();
+
+    /** Write `{"traceEvents": [...]}` JSON, sorted by timestamp. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** @return whether the file could be opened and written. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    struct Ring
+    {
+        explicit Ring(std::size_t capacity, std::uint32_t tid_)
+            : events(capacity), tid(tid_)
+        {
+        }
+
+        mutable std::mutex mtx;   //!< owner-vs-export only
+        std::vector<TraceEvent> events;
+        std::size_t next = 0;
+        bool wrapped = false;
+        std::uint32_t tid;
+    };
+
+    Ring &threadRing();
+    void push(const TraceEvent &event);
+
+    const std::size_t ringCapacity_;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex registerMtx_;   //!< rings_ growth only
+    std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/**
+ * RAII span: stamps the start on construction, records one complete
+ * event on destruction.  Cheap no-op while the recorder is disabled.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(TraceRecorder &recorder, const char *name)
+    {
+        if (recorder.enabled()) {
+            recorder_ = &recorder;
+            name_ = name;
+            startMicros_ = TraceRecorder::nowMicros();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (recorder_) {
+            recorder_->complete(name_, startMicros_,
+                                TraceRecorder::nowMicros() -
+                                    startMicros_);
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    TraceRecorder *recorder_ = nullptr;
+    const char *name_ = nullptr;
+    double startMicros_ = 0.0;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_TRACE_HH

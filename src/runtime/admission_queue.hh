@@ -23,6 +23,10 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hh"
+#include "runtime/task_queue.hh"   // PopStatus
+#include "support/timer.hh"
+
 namespace graphabcd {
 
 /**
@@ -52,8 +56,14 @@ class AdmissionQueue
             std::lock_guard<std::mutex> lock(mtx);
             if (closed || (cap != 0 && heap.size() >= cap))
                 return false;
-            heap.push_back(Entry{priority, nextSeq++, std::move(item)});
+            Entry entry{priority, nextSeq++, std::move(item), 0.0};
+            if constexpr (obs::kEnabled) {
+                if (waitHist)
+                    entry.enqueuedAt = monotonicSeconds();
+            }
+            heap.push_back(std::move(entry));
             std::push_heap(heap.begin(), heap.end());
+            publishDepth(heap.size());
         }
         notEmpty.notify_one();
         return true;
@@ -71,23 +81,31 @@ class AdmissionQueue
         notEmpty.wait(lock, [this] { return closed || !heap.empty(); });
         if (heap.empty())
             return std::nullopt;
-        std::pop_heap(heap.begin(), heap.end());
-        T item = std::move(heap.back().item);
-        heap.pop_back();
-        return item;
+        return takeTop();
+    }
+
+    /**
+     * Non-blocking dequeue with closed-and-drained visibility (same
+     * contract as TaskQueue::tryPop(T&)).
+     */
+    PopStatus
+    tryPop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (heap.empty())
+            return closed ? PopStatus::Drained : PopStatus::Empty;
+        out = takeTop();
+        return PopStatus::Ok;
     }
 
     /** Non-blocking dequeue; std::nullopt when currently empty. */
     std::optional<T>
     tryPop()
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        if (heap.empty())
-            return std::nullopt;
-        std::pop_heap(heap.begin(), heap.end());
-        T item = std::move(heap.back().item);
-        heap.pop_back();
-        return item;
+        T item;
+        if (tryPop(item) == PopStatus::Ok)
+            return item;
+        return std::nullopt;
     }
 
     /** Reject subsequent pushes; consumers drain then see nullopt. */
@@ -117,8 +135,32 @@ class AdmissionQueue
         return closed;
     }
 
+    /** @return whether the queue is closed *and* empty: terminal. */
+    bool
+    isDrained() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return closed && heap.empty();
+    }
+
     /** @return configured capacity (0 = unbounded). */
     std::size_t capacity() const { return cap; }
+
+    /** Publish backlog depth into `g` on every push/pop. */
+    void
+    attachDepthGauge(obs::Gauge *g)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        depthGauge = g;
+    }
+
+    /** Record each item's queueing delay (microseconds) into `h`. */
+    void
+    attachWaitHistogram(obs::Histogram *h)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        waitHist = h;
+    }
 
   private:
     struct Entry
@@ -126,6 +168,7 @@ class AdmissionQueue
         double priority;
         std::uint64_t seq;
         T item;
+        double enqueuedAt;   //!< monotonicSeconds(); 0 when untimed
 
         bool
         operator<(const Entry &other) const
@@ -138,12 +181,40 @@ class AdmissionQueue
         }
     };
 
+    /** Pop the heap top (caller holds mtx, heap non-empty). */
+    T
+    takeTop()
+    {
+        std::pop_heap(heap.begin(), heap.end());
+        Entry entry = std::move(heap.back());
+        heap.pop_back();
+        publishDepth(heap.size());
+        if constexpr (obs::kEnabled) {
+            if (waitHist && entry.enqueuedAt > 0.0) {
+                waitHist->record(
+                    (monotonicSeconds() - entry.enqueuedAt) * 1e6);
+            }
+        }
+        return std::move(entry.item);
+    }
+
+    void
+    publishDepth(std::size_t depth)
+    {
+        if constexpr (obs::kEnabled) {
+            if (depthGauge)
+                depthGauge->set(static_cast<double>(depth));
+        }
+    }
+
     const std::size_t cap;
     mutable std::mutex mtx;
     std::condition_variable notEmpty;
     std::vector<Entry> heap;   //!< std::*_heap managed
     std::uint64_t nextSeq = 0;
     bool closed = false;
+    obs::Gauge *depthGauge = nullptr;
+    obs::Histogram *waitHist = nullptr;
 };
 
 } // namespace graphabcd

@@ -17,12 +17,26 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 
+#include "obs/obs.hh"
 #include "support/logging.hh"
 
 namespace graphabcd {
+
+/**
+ * Outcome of a non-blocking dequeue.  Empty and Drained are distinct on
+ * purpose: a non-blocking consumer that treats them the same spins
+ * forever once the queue is closed and emptied.
+ */
+enum class PopStatus
+{
+    Ok,      //!< an item was dequeued
+    Empty,   //!< nothing available right now — retrying can succeed
+    Drained, //!< closed and empty — no item will ever arrive
+};
 
 /**
  * Blocking bounded MPMC queue with close() semantics: after close(),
@@ -53,6 +67,7 @@ class TaskQueue
         if (closed)
             return false;
         items.push_back(std::move(item));
+        publishDepth(items.size());
         lock.unlock();
         notEmpty.notify_one();
         return true;
@@ -70,6 +85,7 @@ class TaskQueue
             if (closed || (cap != 0 && items.size() >= cap))
                 return false;
             items.push_back(std::move(item));
+            publishDepth(items.size());
         }
         notEmpty.notify_one();
         return true;
@@ -88,23 +104,45 @@ class TaskQueue
             return std::nullopt;
         T item = std::move(items.front());
         items.pop_front();
+        publishDepth(items.size());
+        observePop(item);
         lock.unlock();
         notFull.notify_one();
         return item;
     }
 
-    /** Non-blocking dequeue; std::nullopt when currently empty. */
-    std::optional<T>
-    tryPop()
+    /**
+     * Non-blocking dequeue with closed-and-drained visibility.
+     * @return Ok (out filled), Empty (retry later), or Drained (the
+     *         queue is closed and empty — stop polling).
+     */
+    PopStatus
+    tryPop(T &out)
     {
         std::unique_lock<std::mutex> lock(mtx);
         if (items.empty())
-            return std::nullopt;
-        T item = std::move(items.front());
+            return closed ? PopStatus::Drained : PopStatus::Empty;
+        out = std::move(items.front());
         items.pop_front();
+        publishDepth(items.size());
+        observePop(out);
         lock.unlock();
         notFull.notify_one();
-        return item;
+        return PopStatus::Ok;
+    }
+
+    /**
+     * Non-blocking dequeue; std::nullopt when currently empty.
+     * Cannot distinguish Empty from Drained — non-blocking consumers
+     * that must terminate should use tryPop(T&) or isDrained().
+     */
+    std::optional<T>
+    tryPop()
+    {
+        T item;
+        if (tryPop(item) == PopStatus::Ok)
+            return item;
+        return std::nullopt;
     }
 
     /** Wake all waiters; subsequent pushes fail, pops drain then end. */
@@ -135,16 +173,71 @@ class TaskQueue
         return closed;
     }
 
+    /** @return whether the queue is closed *and* empty: terminal. */
+    bool
+    isDrained() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return closed && items.empty();
+    }
+
     /** @return configured capacity (0 = unbounded). */
     std::size_t capacity() const { return cap; }
 
+    /**
+     * Publish the queue depth into `g` on every push/pop (under the
+     * queue lock; one relaxed store).  Pass nullptr to detach.
+     */
+    void
+    attachDepthGauge(obs::Gauge *g)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        depthGauge = g;
+    }
+
+    /**
+     * Run `fn(item)` under the queue lock as each item is dequeued.
+     * Because pops are serialized by the lock, anything `fn` observes
+     * is ordered against every other pop — which is what makes
+     * staleness measured here obey the FIFO bound (a reading taken
+     * after pop() returns can be inflated arbitrarily by items popped
+     * later that commit while the consumer is preempted).  Metrics
+     * only; must not block.  Pass nullptr to detach.
+     */
+    void
+    attachPopObserver(std::function<void(const T &)> fn)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        popObserver = std::move(fn);
+    }
+
   private:
+    void
+    publishDepth(std::size_t depth)
+    {
+        if constexpr (obs::kEnabled) {
+            if (depthGauge)
+                depthGauge->set(static_cast<double>(depth));
+        }
+    }
+
+    void
+    observePop(const T &item)
+    {
+        if constexpr (obs::kEnabled) {
+            if (popObserver)
+                popObserver(item);
+        }
+    }
+
     const std::size_t cap;
     mutable std::mutex mtx;
     std::condition_variable notEmpty;
     std::condition_variable notFull;
     std::deque<T> items;
     bool closed = false;
+    obs::Gauge *depthGauge = nullptr;
+    std::function<void(const T &)> popObserver;
 };
 
 } // namespace graphabcd

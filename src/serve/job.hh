@@ -95,6 +95,7 @@ struct JobStatus
     double epochs = 0.0;
     std::uint64_t blockUpdates = 0;
     std::uint64_t edgeTraversals = 0;
+    std::uint64_t scatterWrites = 0;
 
     double queuedSeconds = 0.0;   //!< time spent waiting for a worker
     double runSeconds = 0.0;      //!< time spent executing so far

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.hh"
 #include "serve/runner.hh"
 #include "support/timer.hh"
 
@@ -38,6 +39,9 @@ JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
       cache_(config.cacheCapacity, config.cacheTtlSeconds),
       queue_(config.queueCapacity)
 {
+    queue_.attachDepthGauge(&obs::gauge("serve.queue_depth"));
+    queue_.attachWaitHistogram(
+        &obs::histogram("serve.queue_wait_us", obs::latencyBucketsUs()));
     workers_.reserve(cfg_.workers);
     for (std::uint32_t i = 0; i < std::max(1u, cfg_.workers); i++)
         workers_.emplace_back([this] { workerLoop(); });
@@ -193,7 +197,13 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
     }
     running_.fetch_add(1, std::memory_order_relaxed);
 
-    RunOutcome outcome = runAnalyticsJob(*job->graph, job->req);
+    RunOutcome outcome;
+    {
+        obs::Span span("serve.job");
+        obs::ScopedLatency lat(obs::histogram("serve.job_run_us",
+                                              obs::latencyBucketsUs()));
+        outcome = runAnalyticsJob(*job->graph, job->req);
+    }
 
     running_.fetch_sub(1, std::memory_order_relaxed);
 
@@ -319,6 +329,7 @@ JobManager::status(JobId id) const
             st.epochs = job->result->report.epochs;
             st.blockUpdates = job->result->report.blockUpdates;
             st.edgeTraversals = job->result->report.edgeTraversals;
+            st.scatterWrites = job->result->report.scatterWrites;
             st.converged = job->result->report.converged;
         }
     } else {
@@ -334,6 +345,8 @@ JobManager::status(JobId id) const
             p.blockUpdates.load(std::memory_order_relaxed);
         st.edgeTraversals =
             p.edgeTraversals.load(std::memory_order_relaxed);
+        st.scatterWrites =
+            p.scatterWrites.load(std::memory_order_relaxed);
     }
     return st;
 }

@@ -49,18 +49,38 @@ ResultCache::put(std::uint64_t key,
     std::lock_guard<std::mutex> lock(mtx);
     auto it = map.find(key);
     if (it != map.end()) {
-        // Replace in place and refresh both LRU position and TTL.
+        // Replace in place and refresh both LRU position and TTL.  No
+        // key was added, so this is a replacement, not an insertion —
+        // counting it as the latter would overstate the working set.
         it->second.result = std::move(result);
         it->second.insertedAt = t;
         lru.splice(lru.begin(), lru, it->second.lruIt);
-        counters.insertions++;
+        counters.replacements++;
         return;
     }
     if (map.size() >= cap) {
-        const std::uint64_t victim = lru.back();
-        lru.pop_back();
-        map.erase(victim);
-        counters.evictions++;
+        // Prefer an already-expired entry as the victim (scanning from
+        // the cold end): evicting dead weight preserves a live LRU
+        // entry that could still serve hits or warm-starts.
+        auto victimIt = lru.end();
+        if (ttl > 0.0) {
+            for (auto rit = lru.rbegin(); rit != lru.rend(); ++rit) {
+                if (expired(map.at(*rit), t)) {
+                    victimIt = std::next(rit).base();
+                    break;
+                }
+            }
+        }
+        if (victimIt != lru.end()) {
+            map.erase(*victimIt);
+            lru.erase(victimIt);
+            counters.expirations++;
+        } else {
+            const std::uint64_t victim = lru.back();
+            lru.pop_back();
+            map.erase(victim);
+            counters.evictions++;
+        }
     }
     lru.push_front(key);
     Entry entry;

@@ -43,7 +43,8 @@ class ResultCache
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
+        std::uint64_t insertions = 0;    //!< new keys added
+        std::uint64_t replacements = 0;  //!< existing keys overwritten
         std::uint64_t evictions = 0;     //!< dropped by LRU capacity
         std::uint64_t expirations = 0;   //!< dropped by TTL
 

@@ -265,6 +265,37 @@ TEST(AsyncEngineStop, StoppedRunPublishesProgress)
               0u);
 }
 
+TEST(AsyncEngine, SinkHeavyGraphMatchesReference)
+{
+    // Regression for the processAndCommit scatter path: a graph where
+    // most vertices are sinks (no out-edges, empty scatterPositions)
+    // exercises the early-continue and the hoisted old-edge-value read
+    // in both the fused commit (Async) and the wave commit (Bsp).
+    EdgeList el(64);
+    for (VertexId v = 1; v < 64; v++)
+        el.addEdge(0, v);         // hub fans out; 1..63 are sinks
+    el.addEdge(1, 0);             // one cycle so rank circulates
+    el.addEdge(2, 0);
+
+    std::vector<double> ref = pagerankReference(el, 0.85);
+    for (ExecMode mode : {ExecMode::Async, ExecMode::Bsp}) {
+        EngineOptions opt;
+        opt.blockSize = 8;
+        opt.numThreads = 2;
+        opt.mode = mode;
+        opt.tolerance = 1e-12;
+        BlockPartition g(el, opt.blockSize);
+        AsyncEngine<PageRankProgram> engine(g, PageRankProgram(0.85),
+                                            opt);
+        std::vector<double> x;
+        EngineReport report = engine.run(x);
+        EXPECT_TRUE(report.converged) << to_string(mode);
+        for (VertexId v = 0; v < el.numVertices(); v++)
+            EXPECT_NEAR(x[v], ref[v], 1e-6)
+                << to_string(mode) << " vertex " << v;
+    }
+}
+
 TEST(AsyncEngine, ReportsWorkCounters)
 {
     Rng rng(56);

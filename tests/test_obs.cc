@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests of the observability layer: histogram bucket/aggregation math,
+ * registry behaviour, trace ring buffers and Chrome JSON export, and
+ * the engine-level staleness measurement the bounded task queue is
+ * supposed to guarantee (paper Sec. III-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "algorithms/pagerank.hh"
+#include "core/async_engine.hh"
+#include "graph/generators.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
+
+namespace graphabcd {
+namespace {
+
+// --------------------------------------------------------------- metrics
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive)
+{
+    // Bucket i counts bounds[i-1] < x <= bounds[i]; one implicit
+    // overflow bucket catches everything above the last bound.
+    Histogram h({1.0, 2.0, 4.0});
+    for (double x : {0.5, 1.0, 1.5, 3.0, 100.0})
+        h.record(x);
+
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.counts.size(), 4u);
+    EXPECT_EQ(snap.counts[0], 2u);   // 0.5 and 1.0 (<= 1)
+    EXPECT_EQ(snap.counts[1], 1u);   // 1.5
+    EXPECT_EQ(snap.counts[2], 1u);   // 3.0
+    EXPECT_EQ(snap.counts[3], 1u);   // 100.0 overflows
+    EXPECT_EQ(snap.count, 5u);
+    EXPECT_DOUBLE_EQ(snap.sum, 106.0);
+    EXPECT_DOUBLE_EQ(snap.min, 0.5);
+    EXPECT_DOUBLE_EQ(snap.max, 100.0);
+    EXPECT_DOUBLE_EQ(snap.mean(), 106.0 / 5.0);
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBoundOrMax)
+{
+    Histogram h({1.0, 2.0, 4.0});
+    for (double x : {0.5, 1.0, 1.5, 3.0, 100.0})
+        h.record(x);
+
+    const Histogram::Snapshot snap = h.snapshot();
+    // rank = q * (count - 1): ranks 0-1 land in bucket <=1, rank 2 in
+    // bucket <=2, rank 3 in bucket <=4, rank 4 in the overflow bucket.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.75), 4.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);   // overflow -> max
+}
+
+TEST(Histogram, EmptySnapshotIsWellDefined)
+{
+    Histogram h({1.0, 10.0});
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max, 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, ResetZeroesEverythingAndStaysUsable)
+{
+    Histogram h({1.0});
+    h.record(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    h.record(0.5);
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_DOUBLE_EQ(snap.min, 0.5);
+    EXPECT_DOUBLE_EQ(snap.max, 0.5);
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing)
+{
+    Counter c;
+    Histogram h({10.0, 100.0, 1000.0});
+    constexpr int threads = 4, per_thread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; i++) {
+                c.add(1);
+                h.record(static_cast<double>(t * per_thread + i));
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(threads) * per_thread);
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count,
+              static_cast<std::uint64_t>(threads) * per_thread);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t n : snap.counts)
+        bucket_total += n;
+    EXPECT_EQ(bucket_total, snap.count);
+    EXPECT_DOUBLE_EQ(snap.min, 0.0);
+    EXPECT_DOUBLE_EQ(snap.max,
+                     static_cast<double>(threads * per_thread - 1));
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstance)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("x");
+    Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    // Second registration keeps the original bucket layout.
+    Histogram &h1 = reg.histogram("h", {1.0, 2.0});
+    Histogram &h2 = reg.histogram("h", {99.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h1.snapshot().bounds.size(), 2u);
+}
+
+TEST(MetricsRegistry, DumpListsEveryMetricAndResetZeroes)
+{
+    MetricsRegistry reg;
+    reg.counter("jobs.done").add(3);
+    reg.gauge("queue.depth").set(7.0);
+    reg.histogram("lat", {1.0, 10.0}).record(5.0);
+
+    const std::string dump = reg.dump();
+    EXPECT_NE(dump.find("counter jobs.done 3"), std::string::npos);
+    EXPECT_NE(dump.find("gauge queue.depth 7"), std::string::npos);
+    EXPECT_NE(dump.find("hist lat count=1"), std::string::npos);
+
+    reg.reset();
+    EXPECT_EQ(reg.counter("jobs.done").value(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("queue.depth").value(), 0.0);
+    EXPECT_EQ(reg.histogram("lat", {}).count(), 0u);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(TraceRecorder, DisabledRecorderRetainsNothing)
+{
+    TraceRecorder rec(8);
+    rec.complete("x", 0.0, 1.0);
+    rec.instant("y");
+    EXPECT_EQ(rec.eventCount(), 0u);
+}
+
+TEST(TraceRecorder, RingWrapKeepsCapacityNewestEvents)
+{
+    TraceRecorder rec(8);
+    rec.setEnabled(true);
+    for (int i = 0; i < 20; i++)
+        rec.complete("span", static_cast<double>(i), 1.0);
+    EXPECT_EQ(rec.eventCount(), 8u);
+    rec.clear();
+    EXPECT_EQ(rec.eventCount(), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonExportIsLoadable)
+{
+    TraceRecorder rec(64);
+    rec.setEnabled(true);
+    rec.complete("gas", 10.0, 5.0);
+    rec.instant("activated");
+    {
+        TraceSpan span(rec, "scoped");
+    }
+    EXPECT_EQ(rec.eventCount(), 3u);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"name\":\"gas\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+    // Instant events need a scope to load in Perfetto.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+    // Balanced braces and closing bracket: crude well-formedness.
+    EXPECT_NE(json.find("\n]}"), std::string::npos);
+}
+
+TEST(TraceRecorder, ThreadsGetDistinctRings)
+{
+    TraceRecorder rec(16);
+    rec.setEnabled(true);
+    std::thread t1([&] { rec.instant("a"); });
+    std::thread t2([&] { rec.instant("b"); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(rec.eventCount(), 2u);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"name\":\"a\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"b\""), std::string::npos);
+}
+
+// ----------------------------------------------- engine instrumentation
+
+#if GRAPHABCD_OBS_ENABLED
+
+TEST(EngineObs, AsyncStalenessIsBoundedByQueueAndThreads)
+{
+    // The work queue holds numThreads * 4 stamped items; an item's
+    // measured staleness (block updates committed between dispatch and
+    // consumption) can only come from items popped before it — at most
+    // a queue's worth plus the blocks in flight on the workers.  This
+    // is the bounded-staleness condition of paper Sec. III-D, measured
+    // rather than assumed.
+    constexpr std::uint32_t threads = 4;
+    obs::Histogram &stale = obs::histogram(
+        "engine.async.staleness_blocks", obs::stalenessBuckets());
+    stale.reset();
+
+    Rng rng(61);
+    EdgeList el = generateRmat(400, 3200, rng);
+    EngineOptions opt;
+    opt.blockSize = 16;   // plenty of blocks to keep the queue full
+    opt.numThreads = threads;
+    opt.tolerance = 1e-10;
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(0.85), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+
+    EXPECT_TRUE(report.converged);
+    EXPECT_GT(stale.count(), 0u);
+    EXPECT_LE(stale.max(), static_cast<double>(threads * 4 + threads));
+}
+
+TEST(EngineObs, AsyncRunRecordsLatencyFanoutAndSchedulerCounters)
+{
+    obs::Histogram &gas = obs::histogram("engine.async.block_gas_us",
+                                         obs::latencyBucketsUs());
+    obs::Histogram &fanout = obs::histogram(
+        "engine.async.scatter_fanout", obs::fanoutBuckets());
+    obs::Counter &activations = obs::counter("scheduler.activations");
+    gas.reset();
+    fanout.reset();
+    activations.reset();
+
+    Rng rng(62);
+    EdgeList el = generateRmat(200, 1600, rng);
+    EngineOptions opt;
+    opt.blockSize = 16;
+    opt.numThreads = 2;
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+
+    EXPECT_EQ(gas.count(), report.blockUpdates);
+    EXPECT_EQ(fanout.count(), report.blockUpdates);
+    EXPECT_GT(activations.value(), 0u);
+}
+
+#endif // GRAPHABCD_OBS_ENABLED
+
+} // namespace
+} // namespace graphabcd

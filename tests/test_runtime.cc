@@ -51,6 +51,51 @@ TEST(TaskQueue, CloseDrainsThenEnds)
     EXPECT_TRUE(q.isClosed());
 }
 
+TEST(TaskQueue, TryPopReportsEmptyVsDrained)
+{
+    TaskQueue<int> q;
+    int out = 0;
+    EXPECT_EQ(q.tryPop(out), PopStatus::Empty);   // open: retry later
+    q.push(1);
+    EXPECT_EQ(q.tryPop(out), PopStatus::Ok);
+    EXPECT_EQ(out, 1);
+    q.push(2);
+    q.close();
+    EXPECT_EQ(q.tryPop(out), PopStatus::Ok);      // backlog drains
+    EXPECT_EQ(out, 2);
+    EXPECT_EQ(q.tryPop(out), PopStatus::Drained); // terminal
+    EXPECT_TRUE(q.isDrained());
+}
+
+TEST(TaskQueue, NonBlockingConsumerTerminatesAfterClose)
+{
+    // Regression: with only the optional-returning tryPop a polling
+    // consumer cannot tell "empty for now" from "closed and drained"
+    // and spins forever after close().
+    TaskQueue<int> q(8);
+    std::atomic<int> consumed{0};
+    std::thread consumer([&] {
+        int item;
+        for (;;) {
+            switch (q.tryPop(item)) {
+              case PopStatus::Ok:
+                consumed.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case PopStatus::Empty:
+                std::this_thread::yield();
+                break;
+              case PopStatus::Drained:
+                return;
+            }
+        }
+    });
+    for (int i = 0; i < 100; i++)
+        q.push(i);
+    q.close();
+    consumer.join();   // hangs forever without the tri-state
+    EXPECT_EQ(consumed.load(), 100);
+}
+
 TEST(TaskQueue, MpmcConservesItems)
 {
     TaskQueue<int> q(64);

@@ -94,6 +94,66 @@ TEST(Priority, StaleHeapEntriesAreSkipped)
     }
 }
 
+TEST(Priority, ZeroDeltaActivationDoesNotChurnTheHeap)
+{
+    // Regression: blocks are legitimately activated with delta 0 (e.g.
+    // a scatter whose values changed below tolerance elsewhere).  With
+    // pushedPrio at 0 the 25% growth test `prio > pushed * 1.25`
+    // degenerates, so every re-activation must still be throttled.
+    PriorityScheduler s(2);
+    s.activate(0, 0.0);
+    const std::uint64_t pushes = s.counters().heapPushes;
+    EXPECT_EQ(pushes, 1u);
+    for (int i = 0; i < 1000; i++)
+        s.activate(0, 0.0);
+    EXPECT_EQ(s.counters().heapPushes, pushes);   // no churn
+    EXPECT_EQ(s.next(), 0u);                      // still schedulable
+    EXPECT_EQ(s.next(), std::nullopt);
+}
+
+TEST(Priority, NegativeDeltaIsClampedAndDoesNotChurn)
+{
+    // Regression: a negative delta used to drive prio below pushedPrio,
+    // making the refresh condition true on every call — one heap entry
+    // per activation, exactly the churn the throttle exists to stop.
+    PriorityScheduler s(2);
+    s.activate(0, 4.0);
+    const std::uint64_t pushes = s.counters().heapPushes;
+    for (int i = 0; i < 1000; i++)
+        s.activate(0, -1.0);
+    EXPECT_DOUBLE_EQ(s.priority(0), 4.0);   // clamped, never lowered
+    EXPECT_EQ(s.counters().heapPushes, pushes);
+    s.activate(1, 1.0);
+    EXPECT_EQ(s.next(), 0u);   // gradient order preserved
+    EXPECT_EQ(s.next(), 1u);
+}
+
+TEST(Priority, ChurnThrottleIsLogarithmicInGrowth)
+{
+    // 1000 unit-delta activations grow the priority to ~1001; entries
+    // are refreshed only on >25% growth, so the push count must be
+    // O(log_1.25 1001) ~ 31, not O(1000).
+    PriorityScheduler s(1);
+    s.activate(0, 1.0);
+    for (int i = 0; i < 1000; i++)
+        s.activate(0, 1.0);
+    EXPECT_LT(s.counters().heapPushes, 40u);
+    EXPECT_GT(s.counters().refreshes, 0u);
+    EXPECT_EQ(s.next(), 0u);
+}
+
+TEST(Priority, CountersTrackActivationsAndStaleDiscards)
+{
+    PriorityScheduler s(2);
+    s.activate(0, 1.0);
+    s.activate(0, 2.0);   // >25% growth: refresh, old entry goes stale
+    EXPECT_EQ(s.counters().activations, 2u);
+    EXPECT_EQ(s.counters().heapPushes, 2u);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), std::nullopt);   // pops the stale leftover
+    EXPECT_EQ(s.counters().staleDiscards, 1u);
+}
+
 TEST(Random, CoversAllActiveBlocks)
 {
     RandomScheduler s(8, /*seed=*/5);

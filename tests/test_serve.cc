@@ -231,6 +231,41 @@ TEST(ResultCache, TtlExpiresEntriesOnInjectedClock)
     EXPECT_NE(cache.get(2), nullptr);
 }
 
+TEST(ResultCache, PrefersExpiredVictimOverLruEntry)
+{
+    // Regression: eviction used to take the LRU tail unconditionally,
+    // discarding a live entry while an expired one sat in the cache.
+    double fake_now = 0.0;
+    ResultCache cache(2, 10.0, [&fake_now] { return fake_now; });
+    cache.put(1, makeResult(1));        // expires at t=10
+    fake_now = 1.0;
+    cache.put(2, makeResult(2));        // expires at t=11
+    fake_now = 2.0;
+    ASSERT_NE(cache.get(1), nullptr);   // 2 is now the LRU tail
+    fake_now = 10.5;                    // 1 expired, 2 still live
+    cache.put(3, makeResult(3));        // must evict dead 1, not live 2
+    EXPECT_NE(cache.get(2), nullptr);
+    EXPECT_NE(cache.get(3), nullptr);
+    EXPECT_EQ(cache.get(1), nullptr);
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_EQ(st.expirations, 1u);
+}
+
+TEST(ResultCache, ReplacementIsCountedSeparatelyFromInsertion)
+{
+    ResultCache cache(4, 0.0);
+    cache.put(1, makeResult(1));
+    cache.put(1, makeResult(2));   // same key: replaces, no growth
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.insertions, 1u);
+    EXPECT_EQ(st.replacements, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    auto r = cache.get(1);
+    ASSERT_NE(r, nullptr);
+    EXPECT_DOUBLE_EQ(r->values[0], 2.0);
+}
+
 TEST(ResultCache, ZeroCapacityDisablesCaching)
 {
     ResultCache cache(0, 0.0);

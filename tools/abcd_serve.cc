@@ -14,7 +14,13 @@
  *   WAIT <job-id> [timeout-seconds]
  *   CANCEL <job-id>
  *   VALUE <job-id> <vertex>
+ *   TRACE <file>          write the trace buffer as Chrome JSON
  *   GRAPHS | STATS | HELP | QUIT
+ *
+ * STATS reports the service counters and, when the build carries the
+ * observability layer (GRAPHABCD_OBS=ON, the default), dumps the whole
+ * process-wide metrics registry — engine latency/staleness histograms,
+ * scheduler churn, queue depths, HARP utilization gauges.
  *
  * Example session (see README "Serving mode"):
  *   > LOAD web WT scale=0.2
@@ -34,6 +40,7 @@
 
 #include "graph/datasets.hh"
 #include "graph/io.hh"
+#include "obs/obs.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job_manager.hh"
 #include "serve/runner.hh"
@@ -123,6 +130,8 @@ class ServeShell
                 graphs();
             else if (cmd == "STATS")
                 stats();
+            else if (cmd == "TRACE")
+                trace(tokens);
             else
                 std::printf("ERR BadCommand unknown command '%s'\n",
                             cmd.c_str());
@@ -140,7 +149,7 @@ class ServeShell
     {
         std::printf(
             "OK commands: LOAD RUN STATUS WAIT CANCEL VALUE GRAPHS "
-            "STATS HELP QUIT\n");
+            "STATS TRACE HELP QUIT\n");
     }
 
     void
@@ -225,13 +234,14 @@ class ServeShell
     {
         std::printf(
             "OK job %llu state=%s converged=%d cachehit=%d warm=%d "
-            "epochs=%.2f blocks=%llu edges=%llu queued=%.3fs "
-            "run=%.3fs%s%s\n",
+            "epochs=%.2f blocks=%llu edges=%llu scatters=%llu "
+            "queued=%.3fs run=%.3fs%s%s\n",
             static_cast<unsigned long long>(st.id),
             to_string(st.state), st.converged ? 1 : 0,
             st.cacheHit ? 1 : 0, st.warmStarted ? 1 : 0, st.epochs,
             static_cast<unsigned long long>(st.blockUpdates),
             static_cast<unsigned long long>(st.edgeTraversals),
+            static_cast<unsigned long long>(st.scatterWrites),
             st.queuedSeconds, st.runSeconds,
             st.error.empty() ? "" : " error=",
             st.error.empty() ? "" : st.error.c_str());
@@ -351,6 +361,38 @@ class ServeShell
             static_cast<unsigned long long>(s.cacheHits),
             static_cast<unsigned long long>(s.warmStarts),
             s.queueDepth, s.running, c.hitRate());
+        // Process-wide metrics registry, one indented line per metric
+        // (empty in a GRAPHABCD_OBS=OFF build).
+        const std::string dump = obs::dumpMetrics();
+        std::size_t pos = 0;
+        while (pos < dump.size()) {
+            std::size_t nl = dump.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = dump.size();
+            std::printf("  %.*s\n", static_cast<int>(nl - pos),
+                        dump.c_str() + pos);
+            pos = nl + 1;
+        }
+    }
+
+    void
+    trace(const std::vector<std::string> &tokens)
+    {
+        if (tokens.size() < 2) {
+            std::printf("ERR BadCommand usage: TRACE <file>\n");
+            return;
+        }
+        const std::size_t events = obs::traceEventCount();
+        if (!obs::writeTrace(tokens[1])) {
+            std::printf("ERR TraceFailed cannot write %s%s\n",
+                        tokens[1].c_str(),
+                        obs::kEnabled
+                            ? ""
+                            : " (built with GRAPHABCD_OBS=OFF)");
+            return;
+        }
+        std::printf("OK trace %s events=%zu\n", tokens[1].c_str(),
+                    events);
     }
 
     GraphRegistry &registry_;
@@ -368,6 +410,8 @@ main(int argc, char **argv)
     flags.declareInt("cache", 64, "result cache entries");
     flags.declareDouble("ttl", 300.0, "result cache TTL seconds");
     flags.declareBool("echo", false, "echo commands (for transcripts)");
+    flags.declareBool("trace", true,
+                      "record trace events for the TRACE verb");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -378,6 +422,8 @@ main(int argc, char **argv)
     cfg.cacheCapacity =
         static_cast<std::size_t>(flags.getInt("cache"));
     cfg.cacheTtlSeconds = flags.getDouble("ttl");
+
+    obs::setTracingEnabled(flags.getBool("trace"));
 
     GraphRegistry registry;
     JobManager manager(registry, cfg);

@@ -1,22 +1,39 @@
 #!/usr/bin/env bash
-# Tier-1 CI entry point: configure, build, and test under a CMake
-# preset (default: "default").  Usage:
+# Tier-1 CI entry point: configure, build, and test under CMake presets.
+# src/obs/ builds with -Werror, so any warning there fails the build.
+# Usage:
 #
-#   tools/ci.sh            # release build + full ctest
-#   tools/ci.sh asan       # AddressSanitizer+UBSan build + ctest
-#   tools/ci.sh tsan       # ThreadSanitizer build + ctest
+#   tools/ci.sh            # default + asan + tsan, in that order
+#   tools/ci.sh default    # release build + full ctest only
+#   tools/ci.sh asan       # AddressSanitizer+UBSan build + ctest only
+#   tools/ci.sh tsan       # ThreadSanitizer build + ctest only
 set -euo pipefail
 
-preset="${1:-default}"
 cd "$(dirname "$0")/.."
 
-echo "== configure (${preset}) =="
-cmake --preset "${preset}"
+run_preset() {
+    local preset="$1"
 
-echo "== build (${preset}) =="
-cmake --build --preset "${preset}" -j "$(nproc)"
+    echo "== configure (${preset}) =="
+    cmake --preset "${preset}"
 
-echo "== test (${preset}) =="
-ctest --preset "${preset}"
+    echo "== build (${preset}) =="
+    cmake --build --preset "${preset}" -j "$(nproc)"
 
-echo "== ${preset}: OK =="
+    echo "== test (${preset}) =="
+    ctest --preset "${preset}"
+
+    echo "== ${preset}: OK =="
+}
+
+if [ "$#" -ge 1 ]; then
+    presets=("$@")
+else
+    presets=(default asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+    run_preset "${preset}"
+done
+
+echo "== all presets OK: ${presets[*]} =="
