@@ -9,12 +9,22 @@
  * admission control doing its job, and the rejection count is part of
  * the result.
  *
- * Prints per-config: jobs/sec, cache hit rate, rejection count.
+ * Configs cover the serial engine (service overhead + one core per
+ * job) and the threaded async engine, where concurrent jobs share the
+ * process-wide Executor instead of spawning per-job thread armies —
+ * the peak OS thread count of the process is sampled per config to
+ * show the bound.
+ *
+ * Prints per-config: jobs/sec, cache hit rate, rejection count, peak
+ * threads; also writes every row to BENCH_serve.json so later changes
+ * can track the perf trajectory.
  */
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,9 +58,42 @@ struct ClientResult
     std::uint64_t rejected = 0;
 };
 
+/** One row of the benchmark, printed and serialised to JSON. */
+struct ConfigResult
+{
+    std::uint32_t clients = 0;
+    std::uint32_t workers = 0;
+    std::string engine;
+    bool cached = false;
+    std::uint64_t jobs = 0;
+    double jobsPerSec = 0.0;
+    double hitRate = 0.0;
+    std::uint64_t warmStarts = 0;
+    std::uint64_t rejected = 0;
+    long peakThreads = 0;
+};
+
+/** @return the current OS thread count of this process (-1 off-linux). */
+long
+processThreadCount()
+{
+    std::ifstream ifs("/proc/self/status");
+    std::string key;
+    while (ifs >> key) {
+        if (key == "Threads:") {
+            long n = -1;
+            ifs >> n;
+            return n;
+        }
+        ifs.ignore(4096, '\n');
+    }
+    return -1;
+}
+
 ClientResult
 runClient(JobManager &manager, std::uint32_t seed, std::uint64_t jobs,
-          bool cached)
+          bool cached, const std::string &engine,
+          std::uint32_t engine_threads)
 {
     std::mt19937 rng(seed);
     std::uniform_int_distribution<std::size_t> pick(
@@ -61,11 +104,12 @@ runClient(JobManager &manager, std::uint32_t seed, std::uint64_t jobs,
         JobRequest req;
         req.graph = item.graph;
         req.algo = item.algo;
-        req.engine = "serial";
+        req.engine = engine;
         req.source = item.source;
         req.allowCached = cached;
         req.allowWarmStart = cached;
         req.options.tolerance = 1e-6;
+        req.options.numThreads = engine_threads;
         JobManager::Submitted sub;
         // Closed loop with retry: a QueueFull rejection is backpressure,
         // not failure — count it and resubmit after a short pause.
@@ -81,10 +125,11 @@ runClient(JobManager &manager, std::uint32_t seed, std::uint64_t jobs,
     return out;
 }
 
-void
+ConfigResult
 runConfig(GraphRegistry &registry, std::uint32_t clients,
           std::uint32_t workers, std::uint64_t jobs_per_client,
-          bool cached)
+          bool cached, const std::string &engine,
+          std::uint32_t engine_threads)
 {
     ServeConfig cfg;
     cfg.workers = workers;
@@ -93,16 +138,29 @@ runConfig(GraphRegistry &registry, std::uint32_t clients,
 
     std::vector<std::thread> threads;
     std::vector<ClientResult> results(clients);
+    std::atomic<bool> done{false};
+    // Sample the process thread count while the load runs: with the
+    // shared executor it must stay at pool + service workers + clients
+    // no matter how many engine jobs run concurrently.
+    long peak = processThreadCount();
+    std::thread sampler([&done, &peak] {
+        while (!done.load(std::memory_order_acquire)) {
+            peak = std::max(peak, processThreadCount());
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    });
     Timer timer;
     for (std::uint32_t c = 0; c < clients; c++) {
         threads.emplace_back([&, c] {
-            results[c] =
-                runClient(manager, 1000 + c, jobs_per_client, cached);
+            results[c] = runClient(manager, 1000 + c, jobs_per_client,
+                                   cached, engine, engine_threads);
         });
     }
     for (auto &t : threads)
         t.join();
     const double elapsed = timer.seconds();
+    done.store(true, std::memory_order_release);
+    sampler.join();
 
     std::uint64_t completed = 0, rejected = 0;
     for (const auto &r : results) {
@@ -111,14 +169,49 @@ runConfig(GraphRegistry &registry, std::uint32_t clients,
     }
     const ResultCache::Stats cs = manager.cache().stats();
     const ServeStats ss = manager.stats();
+
+    ConfigResult row;
+    row.clients = clients;
+    row.workers = workers;
+    row.engine = engine;
+    row.cached = cached;
+    row.jobs = completed;
+    row.jobsPerSec = completed / elapsed;
+    row.hitRate = cs.hitRate();
+    row.warmStarts = ss.warmStarts;
+    row.rejected = rejected;
+    row.peakThreads = peak;
     std::printf(
-        "clients=%2u workers=%2u cached=%d | jobs=%llu  %8.1f jobs/s  "
-        "hitrate=%.2f  warmstarts=%llu  rejected=%llu\n",
-        clients, workers, cached ? 1 : 0,
-        static_cast<unsigned long long>(completed), completed / elapsed,
+        "clients=%2u workers=%2u engine=%-6s cached=%d | jobs=%llu  "
+        "%8.1f jobs/s  hitrate=%.2f  warmstarts=%llu  rejected=%llu  "
+        "peak_threads=%ld\n",
+        clients, workers, engine.c_str(), cached ? 1 : 0,
+        static_cast<unsigned long long>(completed), row.jobsPerSec,
         cs.hitRate(), static_cast<unsigned long long>(ss.warmStarts),
-        static_cast<unsigned long long>(rejected));
+        static_cast<unsigned long long>(rejected), peak);
     std::fflush(stdout);
+    return row;
+}
+
+void
+writeJson(const std::vector<ConfigResult> &rows, const std::string &path)
+{
+    std::ofstream ofs(path);
+    ofs << "{\n  \"benchmark\": \"serve_throughput\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const ConfigResult &r = rows[i];
+        ofs << "    {\"clients\": " << r.clients
+            << ", \"workers\": " << r.workers << ", \"engine\": \""
+            << r.engine << "\", \"cached\": " << (r.cached ? 1 : 0)
+            << ", \"jobs\": " << r.jobs << ", \"jobs_per_sec\": "
+            << r.jobsPerSec << ", \"hit_rate\": " << r.hitRate
+            << ", \"warm_starts\": " << r.warmStarts
+            << ", \"rejected\": " << r.rejected
+            << ", \"peak_threads\": " << r.peakThreads << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    ofs << "  ]\n}\n";
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }
 
 } // namespace
@@ -130,6 +223,10 @@ main(int argc, char **argv)
     flags.declareDouble("scale", 0.1, "dataset scale factor");
     flags.declareInt("jobs", 40, "jobs per client");
     flags.declareInt("max-clients", 8, "largest client count");
+    flags.declareInt("async-threads", 4,
+                     "numThreads of each async engine job");
+    flags.declare("json", "BENCH_serve.json",
+                  "output file for the machine-readable results");
     if (!flags.parse(argc, argv))
         return 0;
     const double scale = flags.getDouble("scale");
@@ -137,6 +234,8 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(flags.getInt("jobs"));
     const auto max_clients =
         static_cast<std::uint32_t>(flags.getInt("max-clients"));
+    const auto async_threads =
+        static_cast<std::uint32_t>(flags.getInt("async-threads"));
 
     GraphRegistry registry;
     registry.add("web", makeDataset("WT", scale).graph, 512);
@@ -144,12 +243,25 @@ main(int argc, char **argv)
     std::printf("serve_throughput: scale=%.2f jobs/client=%llu\n",
                 scale, static_cast<unsigned long long>(jobs));
 
+    std::vector<ConfigResult> rows;
     // Cache disabled: every job runs the engine (pure service overhead
     // + engine throughput).  Cache enabled: the 8-job pool repeats, so
     // the steady state is mostly hits.
     for (const bool cached : {false, true})
         for (std::uint32_t clients = 1; clients <= max_clients;
              clients *= 2)
-            runConfig(registry, clients, /*workers=*/4, jobs, cached);
+            rows.push_back(runConfig(registry, clients, /*workers=*/4,
+                                     jobs, cached, "serial", 1));
+    // The multi-tenant async case: every job is a threaded engine run.
+    // With the shared executor they split one pool; without it (the
+    // old design) they each spawned async-threads workers and the
+    // machine oversubscribed clients x async-threads fold.
+    for (std::uint32_t clients = 1; clients <= max_clients;
+         clients *= 2)
+        rows.push_back(runConfig(registry, clients,
+                                 /*workers=*/std::max(4u, clients), jobs,
+                                 /*cached=*/false, "async",
+                                 async_threads));
+    writeJson(rows, flags.get("json"));
     return 0;
 }

@@ -1,31 +1,47 @@
 /**
  * @file
- * Threaded asynchronous BCD engine — real barrierless execution on host
- * threads (the "software GraphABCD" of paper Sec. V-D, with the GATHER-
- * APPLY / SCATTER kernel fusion the paper applies to its software
- * baseline).
+ * Threaded asynchronous BCD engine — real barrierless execution on a
+ * shared worker pool (the "software GraphABCD" of paper Sec. V-D, with
+ * the GATHER-APPLY / SCATTER kernel fusion the paper applies to its
+ * software baseline).
  *
  * Vertex and edge-carried values are relaxed atomics: GATHER reads
  * whatever SCATTER has most recently published (possibly stale — that is
  * asynchronous BCD), and SCATTER publishes whole values (state-based
  * update information, Sec. IV-A3), so no locks or barriers are needed on
- * the data plane.  The only shared control state is the scheduler, which
- * matches the paper's design where scheduling is a CPU-side software
- * unit.  The work queue is bounded, which bounds the update-propagation
- * delay and hence preserves the asynchronous-BCD convergence guarantee.
+ * the data plane.  The only shared control state is the scheduler plus a
+ * bounded dispatch FIFO (the software stand-in for the paper's
+ * accelerator task queue), both guarded by one mutex that every
+ * participant acquires exactly once per block: commit the previous
+ * block's activation batch, refill the FIFO from the scheduler, claim
+ * the next block.  The FIFO is bounded, which bounds the
+ * update-propagation delay and hence preserves the asynchronous-BCD
+ * convergence guarantee (Sec. III-D).
  *
- * ExecMode::Barrier inserts a wait-for-wave after every dispatched block
- * group; ExecMode::Bsp processes whole supersteps against a frozen
- * snapshot (Jacobi), reproducing the paper's Fig. 7 baselines.
+ * Threading: the engine spawns nothing.  It opens an Executor::Job with
+ * participation `numThreads` on the shared pool (EngineOptions::executor,
+ * defaulting to the process-wide Executor::shared()), and the calling
+ * thread pumps blocks alongside the pool workers — so a run always makes
+ * progress even on a saturated pool, and N concurrent runs share one set
+ * of OS threads instead of spawning N x numThreads.
+ *
+ * ExecMode::Barrier caps participation at one in-flight block (the
+ * paper's per-block memory-barrier baseline); ExecMode::Bsp processes
+ * whole supersteps against a frozen snapshot (Jacobi), reproducing the
+ * paper's Fig. 7 baselines.
  */
 
 #ifndef GRAPHABCD_CORE_ASYNC_ENGINE_HH
 #define GRAPHABCD_CORE_ASYNC_ENGINE_HH
 
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <mutex>
-#include <thread>
+#include <optional>
 #include <vector>
 
 #include "core/engine.hh"
@@ -34,7 +50,7 @@
 #include "core/vertex_program.hh"
 #include "graph/partition.hh"
 #include "obs/obs.hh"
-#include "runtime/task_queue.hh"
+#include "runtime/executor.hh"
 #include "support/timer.hh"
 
 namespace graphabcd {
@@ -72,10 +88,10 @@ class AsyncEngine
         EngineReport report;
         switch (options.mode) {
           case ExecMode::Async:
-            report = runAsync(/*barrier_per_wave=*/false);
+            report = runAsync(/*barrier_per_block=*/false);
             break;
           case ExecMode::Barrier:
-            report = runAsync(/*barrier_per_wave=*/true);
+            report = runAsync(/*barrier_per_block=*/true);
             break;
           case ExecMode::Bsp:
             report = runBsp();
@@ -113,6 +129,31 @@ class AsyncEngine
             for (EdgeId pos : graph.scatterPositions(v))
                 edgeValues[pos].store(ev, std::memory_order_relaxed);
         }
+    }
+
+    /** The executor this run draws workers from. */
+    std::shared_ptr<Executor>
+    pool() const
+    {
+        return options.executor ? options.executor : Executor::shared();
+    }
+
+    /**
+     * Update budget in vertex updates.  maxEpochs * |V| is computed in
+     * double and can exceed the uint64 range, where the bare cast is
+     * UB; clamp to UINT64_MAX (and to 0 for non-positive budgets).
+     */
+    static std::uint64_t
+    updateBudget(double max_epochs, double n)
+    {
+        constexpr std::uint64_t kMax =
+            std::numeric_limits<std::uint64_t>::max();
+        const double budget = max_epochs * n;
+        if (!(budget > 0.0))
+            return 0;
+        if (budget >= static_cast<double>(kMax))
+            return kMax;
+        return static_cast<std::uint64_t>(budget);
     }
 
     /**
@@ -163,7 +204,7 @@ class AsyncEngine
     }
 
     EngineReport
-    runAsync(bool barrier_per_wave)
+    runAsync(bool barrier_per_block)
     {
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
@@ -172,19 +213,41 @@ class AsyncEngine
         for (BlockId b = 0; b < graph.numBlocks(); b++)
             sched->activate(b, initialActivationPriority());
 
-        // Bounded queue: bounds staleness (paper Sec. III-D).  Each
-        // item carries the global block-update count at dispatch time;
-        // the consumer-side difference is the measured staleness, which
-        // the FIFO bound keeps at <= queue capacity + numThreads.
+        // Barrier mode admits one in-flight block (participation one,
+        // dispatch window one): the per-block memory barrier baseline.
+        const std::uint32_t participation =
+            barrier_per_block ? 1 : std::max(1u, options.numThreads);
+        const std::size_t dispatchCap =
+            barrier_per_block ? 1 : std::size_t{participation} * 4;
+        const std::uint64_t max_updates =
+            updateBudget(options.maxEpochs, n);
+        // Blocks a pool task pumps before requeueing itself, so
+        // concurrent runs interleave on a shared pool instead of the
+        // first run monopolising the workers to quiescence.
+        constexpr std::uint32_t kQuantum = 32;
+
+        // Bounded dispatch FIFO: blocks move scheduler -> FIFO -> a
+        // pump, which bounds staleness (paper Sec. III-D).  Each item
+        // carries the global block-update count at FIFO-entry time;
+        // the difference read when the item is claimed is the measured
+        // staleness, which FIFO order keeps at <= FIFO capacity +
+        // in-flight participants.
         struct WorkItem
         {
             BlockId block;
             std::uint64_t stamp;
         };
-        TaskQueue<WorkItem> work(options.numThreads * 4);
-        std::mutex ctl;
-        std::condition_variable ctlCv;
-        std::size_t inflight = 0;
+        // All control state shares one mutex; every participant takes
+        // it exactly once per block (commit + refill + claim).
+        struct Ctl
+        {
+            std::mutex m;
+            std::deque<WorkItem> fifo;
+            std::uint32_t inflight = 0;   //!< claimed, not committed
+            std::uint32_t pumps = 0;      //!< live participants
+            bool halted = false;          //!< stop token or budget
+            bool droppedWork = false;     //!< halt discarded FIFO items
+        } ctl;
         std::atomic<std::uint64_t> vertex_updates{0};
         std::atomic<std::uint64_t> block_updates{0};
         std::atomic<std::uint64_t> edge_traversals{0};
@@ -197,129 +260,169 @@ class AsyncEngine
             "engine.async.scatter_fanout", obs::fanoutBuckets());
         obs::Histogram &staleHist = obs::histogram(
             "engine.async.staleness_blocks", obs::stalenessBuckets());
-        work.attachDepthGauge(&obs::gauge("engine.async.queue_depth"));
-        if constexpr (obs::kEnabled) {
-            // Measure staleness inside the pop critical section: only
-            // items dispatched before this one can have committed by
-            // then, so the reading obeys the FIFO bound of
-            // queue capacity + in-flight workers (paper Sec. III-D).
-            // Read after pop() returns, it can be inflated without
-            // bound by later items committing while this worker is
-            // preempted.
-            work.attachPopObserver([&](const WorkItem &item) {
-                staleHist.record(static_cast<double>(
-                    block_updates.load(std::memory_order_relaxed) -
-                    item.stamp));
-            });
-        }
+        obs::Gauge &depthGauge = obs::gauge("engine.async.queue_depth");
 
-        auto worker = [&] {
-            std::vector<std::pair<BlockId, double>> activations;
-            while (auto item = work.pop()) {
-                const BlockId b = item->block;
-                // Cooperative cancellation: a stopped worker still
-                // drains its queue entries (the inflight accounting
-                // must balance) but skips the GAS work, so all workers
-                // wind down within one block of the stop request.
-                if (options.stop.stopRequested()) {
-                    activations.clear();
-                } else {
-                    {
-                        obs::ScopedLatency lat(gasHist);
-                        auto [chg, l1] = processAndCommit(b, activations);
-                        (void)chg;
-                        (void)l1;
-                    }
-                    fanoutHist.record(
-                        static_cast<double>(activations.size()));
-                    vertex_updates.fetch_add(graph.blockVertexCount(b),
-                                             std::memory_order_relaxed);
-                    block_updates.fetch_add(1, std::memory_order_relaxed);
-                    edge_traversals.fetch_add(graph.blockEdgeCount(b),
-                                              std::memory_order_relaxed);
-                    scatter_writes.fetch_add(activations.size(),
-                                             std::memory_order_relaxed);
-                    if (options.progress) {
-                        options.progress->accumulate(
-                            graph.blockVertexCount(b), 1,
-                            graph.blockEdgeCount(b), activations.size());
-                    }
-                }
-                {
-                    std::lock_guard<std::mutex> lock(ctl);
-                    for (auto &[dst, delta] : activations)
-                        sched->activate(dst, delta);
-                    inflight--;
-                }
-                ctlCv.notify_all();
-            }
-        };
+        std::shared_ptr<Executor> exec = pool();
+        std::shared_ptr<Executor::Job> job =
+            exec->createJob(participation);
 
-        std::vector<std::thread> threads;
-        const std::uint32_t nthreads = std::max(1u, options.numThreads);
-        threads.reserve(nthreads);
-        for (std::uint32_t t = 0; t < nthreads; t++)
-            threads.emplace_back(worker);
+        // ---- ctl.m must be held by callers of the *Locked helpers ----
 
-        // Dispatcher (the paper's software Scheduler unit).
-        const auto max_updates = static_cast<std::uint64_t>(
-            options.maxEpochs * n);
-        {
-            std::unique_lock<std::mutex> lock(ctl);
-            for (;;) {
-                if (options.stop.stopRequested()) {
-                    report.stopped = true;
-                    break;
-                }
+        // Move ready blocks scheduler -> FIFO until the window is full
+        // or the run halts (stop token polled here: once per claim, as
+        // before).
+        auto refillLocked = [&] {
+            if (!ctl.halted && options.stop.stopRequested())
+                ctl.halted = true;
+            while (!ctl.halted && ctl.fifo.size() < dispatchCap) {
                 if (vertex_updates.load(std::memory_order_relaxed) >=
-                    max_updates)
+                    max_updates) {
+                    ctl.halted = true;
                     break;
-                std::optional<BlockId> b = sched->next();
-                if (!b) {
-                    if (inflight == 0)
-                        break;   // quiescent
-                    ctlCv.wait(lock, [&] {
-                        return inflight == 0 || !sched->empty();
-                    });
-                    continue;
                 }
-                inflight++;
-                lock.unlock();
+                std::optional<BlockId> b = sched->next();
+                if (!b)
+                    break;
                 std::uint64_t stamp = 0;
                 if constexpr (obs::kEnabled) {
                     stamp =
                         block_updates.load(std::memory_order_relaxed);
                 }
-                work.push({*b, stamp});
-                if (barrier_per_wave) {
-                    // Memory barrier after each block's GAS processing
-                    // (the paper's 'Barrier' baseline).
-                    std::unique_lock<std::mutex> wait_lock(ctl);
-                    ctlCv.wait(wait_lock, [&] { return inflight == 0; });
-                    wait_lock.unlock();
-                }
-                lock.lock();
+                ctl.fifo.push_back({*b, stamp});
             }
+            if (ctl.halted && !ctl.fifo.empty()) {
+                // A halted run drops (not processes) dispatched work,
+                // so an empty scheduler no longer implies quiescence.
+                ctl.droppedWork = true;
+                ctl.fifo.clear();
+            }
+            if constexpr (obs::kEnabled)
+                depthGauge.set(static_cast<double>(ctl.fifo.size()));
+        };
+
+        // Claim the FIFO head.  Measuring staleness inside the locked
+        // claim keeps the FIFO bound exact: only items claimed before
+        // this one can have committed by now.
+        auto claimLocked = [&]() -> std::optional<WorkItem> {
+            if (ctl.fifo.empty())
+                return std::nullopt;
+            WorkItem item = ctl.fifo.front();
+            ctl.fifo.pop_front();
+            ctl.inflight++;
+            if constexpr (obs::kEnabled) {
+                staleHist.record(static_cast<double>(
+                    block_updates.load(std::memory_order_relaxed) -
+                    item.stamp));
+                depthGauge.set(static_cast<double>(ctl.fifo.size()));
+            }
+            return item;
+        };
+
+        std::function<void()> pumpTask;   // assigned below
+
+        // Add pool participants for waiting FIFO items, up to the
+        // participation bound.
+        auto spawnLocked = [&] {
+            std::size_t want = std::min<std::size_t>(
+                participation > ctl.pumps ? participation - ctl.pumps
+                                          : 0,
+                ctl.fifo.size());
+            for (; want > 0; want--) {
+                ctl.pumps++;
+                job->submit(pumpTask);
+            }
+        };
+
+        // One participant: claim-process-commit blocks until no work
+        // is claimable (or, for pool tasks, the quantum expires and the
+        // participant requeues itself behind other runs' tasks).
+        auto pump = [&](bool allow_requeue) {
+            std::vector<std::pair<BlockId, double>> activations;
+            std::uint32_t done = 0;
+            std::optional<WorkItem> cur;
+            {
+                std::lock_guard<std::mutex> lock(ctl.m);
+                refillLocked();
+                cur = claimLocked();
+                if (!cur) {
+                    ctl.pumps--;
+                    return;
+                }
+            }
+            for (;;) {
+                const BlockId b = cur->block;
+                {
+                    obs::ScopedLatency lat(gasHist);
+                    auto [chg, l1] = processAndCommit(b, activations);
+                    (void)chg;
+                    (void)l1;
+                }
+                fanoutHist.record(
+                    static_cast<double>(activations.size()));
+                vertex_updates.fetch_add(graph.blockVertexCount(b),
+                                         std::memory_order_relaxed);
+                block_updates.fetch_add(1, std::memory_order_relaxed);
+                edge_traversals.fetch_add(graph.blockEdgeCount(b),
+                                          std::memory_order_relaxed);
+                scatter_writes.fetch_add(activations.size(),
+                                         std::memory_order_relaxed);
+                if (options.progress) {
+                    options.progress->accumulate(
+                        graph.blockVertexCount(b), 1,
+                        graph.blockEdgeCount(b), activations.size());
+                }
+                done++;
+                bool requeue = false;
+                {
+                    std::lock_guard<std::mutex> lock(ctl.m);
+                    for (auto &[dst, delta] : activations)
+                        sched->activate(dst, delta);
+                    ctl.inflight--;
+                    refillLocked();
+                    if (allow_requeue && done >= kQuantum &&
+                        !ctl.fifo.empty()) {
+                        // Keep ctl.pumps: the requeued task inherits
+                        // this participant's slot.
+                        requeue = true;
+                    } else {
+                        cur = claimLocked();
+                        if (cur)
+                            spawnLocked();
+                        else
+                            ctl.pumps--;
+                    }
+                }
+                if (requeue) {
+                    job->submit(pumpTask);
+                    return;
+                }
+                if (!cur)
+                    return;
+            }
+        };
+        pumpTask = [&pump] { pump(/*allow_requeue=*/true); };
+
+        {
+            std::lock_guard<std::mutex> lock(ctl.m);
+            ctl.pumps = 1;   // the calling thread participates
+            refillLocked();
+            spawnLocked();
         }
+        pump(/*allow_requeue=*/false);
+        job->wait();   // all pool participants drained
 
-        work.close();
-        for (auto &t : threads)
-            t.join();
-
-        if (options.stop.stopRequested())
-            report.stopped = true;
+        report.stopped = options.stop.stopRequested();
         report.vertexUpdates = vertex_updates.load();
         report.blockUpdates = block_updates.load();
         report.edgeTraversals = edge_traversals.load();
         report.scatterWrites = scatter_writes.load();
         report.epochs = static_cast<double>(report.vertexUpdates) / n;
-        {
-            std::lock_guard<std::mutex> lock(ctl);
-            // A stopped run never claims convergence: workers drop (not
-            // reactivate) the blocks they skip, so an empty scheduler
-            // does not mean quiescence here.
-            report.converged = !report.stopped && sched->empty();
-        }
+        // A halted run never claims convergence: dispatched blocks are
+        // dropped (not reactivated), so an empty scheduler does not
+        // mean quiescence once work was discarded.  No lock needed:
+        // job->wait() ordered every participant before this point.
+        report.converged =
+            !report.stopped && !ctl.droppedWork && sched->empty();
         flushSchedulerCounters(*sched);
         return report;
     }
@@ -341,14 +444,21 @@ class AsyncEngine
     EngineReport
     runBsp()
     {
-        // Jacobi supersteps with a thread-parallel wave and a global
-        // barrier (join) per iteration; commits go to a double buffer.
+        // Jacobi supersteps with a pool-parallel wave and a global
+        // barrier (Job::wait) per iteration; commits go to a double
+        // buffer.
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),
                                    options.seed);
         for (BlockId b = 0; b < graph.numBlocks(); b++)
             sched->activate(b, initialActivationPriority());
+
+        const std::uint32_t participation =
+            std::max(1u, options.numThreads);
+        std::shared_ptr<Executor> exec = pool();
+        std::shared_ptr<Executor::Job> job =
+            exec->createJob(participation);
 
         std::vector<BlockId> wave;
         std::vector<BlockUpdate<Value>> updates;
@@ -363,7 +473,7 @@ class AsyncEngine
 
             updates.assign(wave.size(), {});
             std::atomic<std::size_t> cursor{0};
-            auto worker = [&] {
+            auto sweep = [&] {
                 for (;;) {
                     std::size_t i =
                         cursor.fetch_add(1, std::memory_order_relaxed);
@@ -372,13 +482,13 @@ class AsyncEngine
                     updates[i] = gatherApplyBlock(wave[i]);
                 }
             };
-            std::vector<std::thread> threads;
-            const std::uint32_t nthreads =
-                std::max(1u, options.numThreads);
-            for (std::uint32_t t = 0; t < nthreads; t++)
-                threads.emplace_back(worker);
-            for (auto &t : threads)
-                t.join();   // the global memory barrier
+            // participation-1 pool helpers; the caller sweeps too.
+            const std::size_t helpers = std::min<std::size_t>(
+                participation - 1, wave.size());
+            for (std::size_t h = 0; h < helpers; h++)
+                job->submit(sweep);
+            sweep();
+            job->wait();   // the global memory barrier
 
             for (std::size_t i = 0; i < wave.size(); i++) {
                 commitUpdate(wave[i], updates[i], *sched, report);

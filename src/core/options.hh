@@ -17,6 +17,8 @@
 
 namespace graphabcd {
 
+class Executor;
+
 /**
  * Block selection method (scheduling strategy, paper Sec. III-B).
  */
@@ -75,7 +77,12 @@ struct EngineOptions
     /** Seed for the Random scheduler. */
     std::uint64_t seed = 1;
 
-    /** Worker threads for the threaded asynchronous engine. */
+    /**
+     * Participation bound of the threaded asynchronous engine: at most
+     * this many pool workers (plus the calling thread) execute one run
+     * concurrently.  The engine never spawns threads of its own; it
+     * borrows them from `executor`.
+     */
     std::uint32_t numThreads = 4;
 
     /**
@@ -110,6 +117,16 @@ struct EngineOptions
      * null or when the size does not match |V|.
      */
     std::shared_ptr<const std::vector<double>> warmStart;
+
+    /**
+     * Worker pool the threaded asynchronous engine draws from.  Null
+     * selects the process-wide pool (Executor::shared()), so by
+     * default every run in the process shares one fixed set of
+     * workers; the serve layer injects its own pool here.  Like the
+     * hooks above, the pool does not change what fixpoint a run
+     * converges to, so the ResultCache fingerprint excludes it.
+     */
+    std::shared_ptr<Executor> executor;
 };
 
 } // namespace graphabcd

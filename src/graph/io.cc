@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -31,6 +32,15 @@ loadEdgeList(const std::string &path, bool densify)
         float w = 1.0f;
         if (!(iss >> s >> d))
             fatal("garbled edge at ", path, ":", line_no);
+        // VertexId is 32-bit; a wider id must fail loudly here, not
+        // silently alias a low vertex after truncation.
+        constexpr std::uint64_t max_vertex =
+            std::numeric_limits<VertexId>::max();
+        if (s > max_vertex || d > max_vertex)
+            fatal("vertex id ", std::max(s, d), " at ", path, ":",
+                  line_no, " exceeds the 32-bit VertexId range ",
+                  "(densify cannot help: ids are truncated before ",
+                  "remapping)");
         iss >> w;   // optional third column
         raw.emplace_back(static_cast<VertexId>(s),
                          static_cast<VertexId>(d), w);
@@ -38,6 +48,12 @@ loadEdgeList(const std::string &path, bool densify)
     }
 
     if (!densify) {
+        // max_id fits VertexId (checked per line), but the vertex
+        // *count* max_id + 1 may not.
+        if (max_id == std::numeric_limits<VertexId>::max())
+            fatal("'", path, "' needs ", max_id + 1,
+                  " vertices, which overflows the 32-bit vertex count; "
+                  "load with densify=true");
         EdgeList el(static_cast<VertexId>(max_id) + 1);
         for (const Edge &e : raw)
             el.addEdge(e.src, e.dst, e.weight);
@@ -108,6 +124,23 @@ loadEdgeListBinary(const std::string &path)
     if (version != binaryVersion)
         fatal("'", path, "' has format version ", version,
               ", expected ", binaryVersion);
+    // Validate the edge count against the bytes actually present
+    // before allocating: a corrupt or malicious header must fail
+    // cleanly here, not OOM the process on the vector below.  The
+    // division form avoids overflowing m * sizeof(Edge).
+    const std::istream::pos_type data_pos = ifs.tellg();
+    ifs.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = ifs.tellg();
+    if (data_pos == std::istream::pos_type(-1) ||
+        end_pos == std::istream::pos_type(-1) || end_pos < data_pos)
+        fatal("cannot size '", path, "'");
+    const std::uint64_t remaining =
+        static_cast<std::uint64_t>(end_pos - data_pos);
+    if (m > remaining / sizeof(Edge))
+        fatal("'", path, "' header claims ", m, " edges but only ",
+              remaining, " bytes (", remaining / sizeof(Edge),
+              " edges) follow the header");
+    ifs.seekg(data_pos);
     std::vector<Edge> edges(m);
     ifs.read(reinterpret_cast<char *>(edges.data()),
              static_cast<std::streamsize>(m * sizeof(Edge)));

@@ -15,6 +15,7 @@
 #define GRAPHABCD_SERVE_JOB_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "graph/types.hh"
 
 namespace graphabcd {
+
+class Executor;
 
 /** Service-wide job identifier; 0 is never a valid id. */
 using JobId = std::uint64_t;
@@ -120,6 +123,21 @@ struct ServeConfig
      * service's job table stays bounded.
      */
     std::size_t maxRetainedJobs = 1024;
+
+    /**
+     * Engine worker pool threads.  0 (the default) shares the
+     * process-wide pool (Executor::shared(), sized to the hardware);
+     * > 0 gives this service a private pool of that size.  Either
+     * way the service's total thread count is `workers` service
+     * threads + the pool — engines never spawn threads per job.
+     */
+    std::uint32_t poolThreads = 0;
+
+    /**
+     * Inject a specific pool (e.g. one shared with another embedded
+     * service).  Non-null overrides poolThreads.
+     */
+    std::shared_ptr<Executor> executor;
 };
 
 /** Monotonic service counters plus instantaneous gauges. */

@@ -42,6 +42,15 @@ JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
     queue_.attachDepthGauge(&obs::gauge("serve.queue_depth"));
     queue_.attachWaitHistogram(
         &obs::histogram("serve.queue_wait_us", obs::latencyBucketsUs()));
+    // One engine worker pool for the whole service: concurrent jobs
+    // share its fixed threads (bounded per-job participation) instead
+    // of each spawning options.numThreads of their own.
+    if (cfg_.executor)
+        executor_ = cfg_.executor;
+    else if (cfg_.poolThreads > 0)
+        executor_ = std::make_shared<Executor>(cfg_.poolThreads);
+    else
+        executor_ = Executor::shared();
     workers_.reserve(cfg_.workers);
     for (std::uint32_t i = 0; i < std::max(1u, cfg_.workers); i++)
         workers_.emplace_back([this] { workerLoop(); });
@@ -131,7 +140,10 @@ JobManager::workerLoop()
             JobState::Queued)
             continue;
         if (job->req.options.stop.stopRequested()) {
-            finishJob(job, JobState::Cancelled,
+            // CAS: cancel() may terminalise the job concurrently, and
+            // only the winner may count it (else stats_.cancelled is
+            // double-counted and the error double-written).
+            finishJob(job, JobState::Queued, JobState::Cancelled,
                       job->stop.stopRequested()
                           ? "cancelled while queued"
                           : "deadline exceeded while queued");
@@ -155,9 +167,13 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
                 job->cacheHit = true;
                 job->result = std::move(cached);
                 job->startedAt = monotonicSeconds();
+            }
+            // The job is still Queued here, so a concurrent cancel()
+            // can claim it first; only the winner counts.
+            if (finishJob(job, JobState::Queued, JobState::Done, "")) {
+                std::lock_guard<std::mutex> lock(mtx_);
                 stats_.cacheHits++;
             }
-            finishJob(job, JobState::Done, "");
             return;
         }
     }
@@ -202,17 +218,18 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
         obs::Span span("serve.job");
         obs::ScopedLatency lat(obs::histogram("serve.job_run_us",
                                               obs::latencyBucketsUs()));
-        outcome = runAnalyticsJob(*job->graph, job->req);
+        outcome = runAnalyticsJob(*job->graph, job->req, executor_);
     }
 
     running_.fetch_sub(1, std::memory_order_relaxed);
 
     if (!outcome.ok()) {
-        finishJob(job, JobState::Failed, std::move(outcome.error));
+        finishJob(job, JobState::Running, JobState::Failed,
+                  std::move(outcome.error));
         return;
     }
     if (outcome.report.stopped) {
-        finishJob(job, JobState::Cancelled,
+        finishJob(job, JobState::Running, JobState::Cancelled,
                   job->stop.stopRequested() ? "cancelled"
                                             : "deadline exceeded");
         return;
@@ -227,21 +244,24 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
         job->result = result;
         lastFixpoint_[job->familyKey] = std::move(result);
     }
-    finishJob(job, JobState::Done, "");
+    finishJob(job, JobState::Running, JobState::Done, "");
 }
 
-void
-JobManager::finishJob(const std::shared_ptr<Job> &job, JobState state,
-                      std::string error)
+bool
+JobManager::finishJob(const std::shared_ptr<Job> &job, JobState from,
+                      JobState to, std::string error)
 {
     {
         std::lock_guard<std::mutex> lock(mtx_);
+        JobState expected = from;
+        if (!job->state.compare_exchange_strong(expected, to,
+                                                std::memory_order_acq_rel))
+            return false;   // lost to a concurrent transition
         job->error = std::move(error);
         job->finishedAt = monotonicSeconds();
         if (job->startedAt == 0.0)
             job->startedAt = job->finishedAt;
-        job->state.store(state, std::memory_order_release);
-        switch (state) {
+        switch (to) {
           case JobState::Done:      stats_.completed++; break;
           case JobState::Cancelled: stats_.cancelled++; break;
           case JobState::Failed:    stats_.failed++; break;
@@ -262,6 +282,7 @@ JobManager::finishJob(const std::shared_ptr<Job> &job, JobState state,
         }
     }
     doneCv_.notify_all();
+    return true;
 }
 
 bool
@@ -280,23 +301,11 @@ JobManager::cancel(JobId id)
         return false;
     job->stop.requestStop();
     // Claim a queued job outright so it never starts; the popping
-    // worker sees a non-Queued state and drops its queue entry.
-    JobState expected = JobState::Queued;
-    bool claimed = false;
-    {
-        std::lock_guard<std::mutex> lock(mtx_);
-        claimed = job->state.compare_exchange_strong(
-            expected, JobState::Cancelled);
-        if (claimed) {
-            job->error = "cancelled while queued";
-            job->finishedAt = monotonicSeconds();
-            if (job->startedAt == 0.0)
-                job->startedAt = job->finishedAt;
-            stats_.cancelled++;
-        }
-    }
-    if (claimed)
-        doneCv_.notify_all();
+    // worker sees a non-Queued state and drops its queue entry.  The
+    // CAS inside finishJob arbitrates against that worker, so exactly
+    // one side records the cancellation.
+    finishJob(job, JobState::Queued, JobState::Cancelled,
+              "cancelled while queued");
     // Running jobs finish through the worker when the token fires.
     return true;
 }

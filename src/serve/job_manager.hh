@@ -43,6 +43,7 @@
 
 #include "core/stop_token.hh"
 #include "runtime/admission_queue.hh"
+#include "runtime/executor.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job.hh"
 #include "serve/result_cache.hh"
@@ -136,13 +137,22 @@ class JobManager
 
     void workerLoop();
     void runJob(const std::shared_ptr<Job> &job);
-    void finishJob(const std::shared_ptr<Job> &job, JobState state,
-                   std::string error);
+
+    /**
+     * Terminalise a job with CAS `from -> to` under mtx_.  The CAS is
+     * what makes finishing race-free: cancel() and a worker can both
+     * try to terminalise the same Queued job, and exactly one of them
+     * wins and does the bookkeeping (stats, error, timestamps).
+     * @return whether this caller won the transition.
+     */
+    bool finishJob(const std::shared_ptr<Job> &job, JobState from,
+                   JobState to, std::string error);
 
     GraphRegistry &registry_;
     const ServeConfig cfg_;
     ResultCache cache_;
     AdmissionQueue<std::shared_ptr<Job>> queue_;
+    std::shared_ptr<Executor> executor_;   //!< engine worker pool
 
     mutable std::mutex mtx_;   //!< jobs_, warm-start index, stats_
     mutable std::condition_variable doneCv_;

@@ -9,6 +9,7 @@
 #include "core/async_engine.hh"
 #include "core/engine.hh"
 #include "harp/system.hh"
+#include "runtime/executor.hh"
 #include "support/fingerprint.hh"
 
 namespace graphabcd {
@@ -60,22 +61,33 @@ runWith(const BlockPartition &g, Program program, const JobRequest &req)
 } // namespace
 
 RunOutcome
-runAnalyticsJob(const BlockPartition &g, const JobRequest &req)
+runAnalyticsJob(const BlockPartition &g, const JobRequest &req,
+                std::shared_ptr<Executor> executor)
 {
-    if (req.algo == "pr")
-        return runWith(g, PageRankProgram(), req);
-    if (req.algo == "ppr")
-        return runWith(g, PersonalizedPageRankProgram(req.source), req);
-    if (req.algo == "sssp")
-        return runWith(g, SsspProgram(req.source), req);
-    if (req.algo == "bfs")
-        return runWith(g, BfsProgram(req.source), req);
-    if (req.algo == "cc")
-        return runWith(g, CcProgram(), req);
-    if (req.algo == "lp")
-        return runWith(g, LabelPropagationProgram(), req);
+    // The pool is an execution resource, not a semantic option, so it
+    // is injected here (per call) rather than fingerprinted.
+    const JobRequest *effective = &req;
+    JobRequest with_pool;
+    if (executor && !req.options.executor) {
+        with_pool = req;
+        with_pool.options.executor = std::move(executor);
+        effective = &with_pool;
+    }
+    const JobRequest &r = *effective;
+    if (r.algo == "pr")
+        return runWith(g, PageRankProgram(), r);
+    if (r.algo == "ppr")
+        return runWith(g, PersonalizedPageRankProgram(r.source), r);
+    if (r.algo == "sssp")
+        return runWith(g, SsspProgram(r.source), r);
+    if (r.algo == "bfs")
+        return runWith(g, BfsProgram(r.source), r);
+    if (r.algo == "cc")
+        return runWith(g, CcProgram(), r);
+    if (r.algo == "lp")
+        return runWith(g, LabelPropagationProgram(), r);
     RunOutcome out;
-    out.error = "unknown algorithm '" + req.algo + "'";
+    out.error = "unknown algorithm '" + r.algo + "'";
     return out;
 }
 

@@ -23,6 +23,7 @@
 #define GRAPHABCD_SERVE_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 #include "serve/job.hh"
 
 namespace graphabcd {
+
+class Executor;
 
 /** Outcome of one dispatched run. */
 struct RunOutcome
@@ -45,8 +48,12 @@ struct RunOutcome
  * Execute `req` against `g` synchronously on the calling thread.  The
  * engine honours req.options.stop / progress / warmStart.  Unsupported
  * algo/engine combinations return an error outcome (never throw).
+ * @param executor pool the threaded engine draws workers from; null
+ *        keeps req.options.executor (itself defaulting to the
+ *        process-wide pool).
  */
-RunOutcome runAnalyticsJob(const BlockPartition &g, const JobRequest &req);
+RunOutcome runAnalyticsJob(const BlockPartition &g, const JobRequest &req,
+                           std::shared_ptr<Executor> executor = nullptr);
 
 /** @return whether runAnalyticsJob recognises req.algo and req.engine. */
 bool isRunnable(const JobRequest &req, std::string *why = nullptr);

@@ -313,5 +313,29 @@ TEST(AsyncEngine, ReportsWorkCounters)
     EXPECT_GT(report.seconds, 0.0);
 }
 
+TEST(AsyncEngine, HugeMaxEpochsDoesNotOverflowTheUpdateBudget)
+{
+    // maxEpochs * |V| beyond the uint64 range used to be cast straight
+    // to uint64 (UB; in practice a 0 or garbage budget that ended runs
+    // instantly).  It must clamp and run to convergence as usual.
+    Rng rng(57);
+    EdgeList el = generateRmat(256, 2048, rng);
+    EngineOptions opt;
+    opt.blockSize = 32;
+    opt.numThreads = 2;
+    opt.tolerance = 1e-10;
+    opt.maxEpochs = 1e18;   // * |V| = 2.56e20 >> 2^64 ~ 1.8e19
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(0.85), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.converged);
+    EXPECT_GT(report.blockUpdates, 0u);
+
+    std::vector<double> ref = pagerankReference(el, 0.85);
+    for (VertexId v = 0; v < el.numVertices(); v++)
+        ASSERT_NEAR(x[v], ref[v], 1e-6) << "vertex " << v;
+}
+
 } // namespace
 } // namespace graphabcd

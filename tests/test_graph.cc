@@ -306,6 +306,51 @@ TEST(Io, MissingFileIsFatal)
     EXPECT_THROW(loadEdgeList("/nonexistent/nowhere.el"), FatalError);
 }
 
+TEST(Io, RejectsVertexIdsWiderThan32Bits)
+{
+    // Ids beyond VertexId used to be silently truncated, aliasing
+    // distinct vertices; they must fail loudly, naming the line.
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_wide.el";
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs("0 1\n1 2\n7 5000000000\n", f);
+        std::fclose(f);
+    }
+    try {
+        loadEdgeList(path, /*densify=*/true);
+        FAIL() << "64-bit id was accepted";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("5000000000"), std::string::npos) << what;
+        EXPECT_NE(what.find(":3"), std::string::npos)
+            << "line number missing from: " << what;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsOversizedHeaderEdgeCount)
+{
+    // A corrupt header claiming more edges than the file holds must
+    // fail before allocating, not OOM on a multi-exabyte vector.
+    Rng rng(46);
+    EdgeList el = generateErdosRenyi(20, 60, rng);
+    std::string path = std::filesystem::temp_directory_path() /
+                       "abcd_io_badcount.bin";
+    saveEdgeListBinary(el, path);
+    {
+        // Overwrite the uint64 edge count at offset 12 (magic 4 +
+        // version 4 + n 4) with a huge value.
+        std::fstream fs(path,
+                        std::ios::binary | std::ios::in | std::ios::out);
+        fs.seekp(12);
+        const std::uint64_t huge = ~std::uint64_t{0} / sizeof(Edge);
+        fs.write(reinterpret_cast<const char *>(&huge), sizeof(huge));
+    }
+    EXPECT_THROW(loadEdgeListBinary(path), FatalError);
+    std::remove(path.c_str());
+}
+
 TEST(Stats, HandComputedGraph)
 {
     EdgeList el(5);

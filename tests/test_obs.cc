@@ -217,12 +217,12 @@ TEST(TraceRecorder, ThreadsGetDistinctRings)
 
 TEST(EngineObs, AsyncStalenessIsBoundedByQueueAndThreads)
 {
-    // The work queue holds numThreads * 4 stamped items; an item's
-    // measured staleness (block updates committed between dispatch and
-    // consumption) can only come from items popped before it — at most
-    // a queue's worth plus the blocks in flight on the workers.  This
-    // is the bounded-staleness condition of paper Sec. III-D, measured
-    // rather than assumed.
+    // The engine's dispatch FIFO holds participation * 4 stamped
+    // items; an item's measured staleness (block updates committed
+    // between FIFO entry and claim) can only come from items claimed
+    // before it — at most a FIFO's worth plus the blocks in flight on
+    // the participants.  This is the bounded-staleness condition of
+    // paper Sec. III-D, measured rather than assumed.
     constexpr std::uint32_t threads = 4;
     obs::Histogram &stale = obs::histogram(
         "engine.async.staleness_blocks", obs::stalenessBuckets());

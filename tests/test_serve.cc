@@ -509,6 +509,55 @@ TEST_F(ServeTest, CancelMidRunReportsCancelledWithoutBlockingOthers)
     EXPECT_EQ(manager.stats().cancelled, 1u);
 }
 
+TEST_F(ServeTest, ConcurrentCancelStormCountsEachJobExactlyOnce)
+{
+    // cancel() and the popping worker race to terminalise the same
+    // Queued job; the CAS in finishJob must let exactly one side do
+    // the bookkeeping.  Before the fix this storm double-counted
+    // stats_.cancelled and double-wrote the error string.
+    ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 64;
+    JobManager manager(registry, cfg);
+
+    constexpr std::size_t kJobs = 32;
+    std::vector<JobId> ids;
+    for (std::size_t i = 0; i < kJobs; i++) {
+        JobManager::Submitted sub = manager.submit(
+            endlessRequest(i % 2 ? "web" : "road"));
+        ASSERT_TRUE(sub.ok());
+        ids.push_back(sub.id);
+    }
+
+    // Several threads cancel every job concurrently, racing both the
+    // workers (pop vs. cancel) and each other (cancel vs. cancel).
+    std::vector<std::thread> stormers;
+    for (int t = 0; t < 8; t++) {
+        stormers.emplace_back([&manager, &ids] {
+            for (JobId id : ids)
+                manager.cancel(id);
+        });
+    }
+    for (auto &t : stormers)
+        t.join();
+
+    for (JobId id : ids)
+        ASSERT_TRUE(manager.wait(id, 30.0)) << "job " << id;
+    const ServeStats stats = manager.stats();
+    EXPECT_EQ(stats.submitted, kJobs);
+    EXPECT_EQ(stats.cancelled, kJobs);
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    for (JobId id : ids) {
+        auto st = manager.status(id);
+        ASSERT_TRUE(st.has_value());
+        EXPECT_EQ(st->state, JobState::Cancelled);
+        EXPECT_TRUE(st->error == "cancelled" ||
+                    st->error == "cancelled while queued")
+            << "job " << id << ": '" << st->error << "'";
+    }
+}
+
 TEST_F(ServeTest, DeadlineCancelsARunawayJob)
 {
     JobManager manager(registry);

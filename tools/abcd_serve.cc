@@ -406,6 +406,9 @@ main(int argc, char **argv)
 {
     Flags flags;
     flags.declareInt("workers", 2, "service worker threads");
+    flags.declareInt("pool-threads", 0,
+                     "engine worker pool size (0 = the process-wide "
+                     "pool sized to the hardware)");
     flags.declareInt("queue", 16, "admission queue capacity");
     flags.declareInt("cache", 64, "result cache entries");
     flags.declareDouble("ttl", 300.0, "result cache TTL seconds");
@@ -422,6 +425,8 @@ main(int argc, char **argv)
     cfg.cacheCapacity =
         static_cast<std::size_t>(flags.getInt("cache"));
     cfg.cacheTtlSeconds = flags.getDouble("ttl");
+    cfg.poolThreads =
+        static_cast<std::uint32_t>(flags.getInt("pool-threads"));
 
     obs::setTracingEnabled(flags.getBool("trace"));
 
