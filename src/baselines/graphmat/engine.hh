@@ -29,7 +29,9 @@
 
 #include "graph/csr.hh"
 #include "graph/edge_list.hh"
+#include "obs/obs.hh"
 #include "support/logging.hh"
+#include "support/timer.hh"
 
 namespace graphabcd {
 namespace graphmat {
@@ -98,6 +100,18 @@ class GraphMatEngine
     }
 
     /**
+     * Attach a convergence curve sink: run() appends one sample per
+     * superstep (residual = L1 state delta of the superstep), so the
+     * baseline plots on the same axes as the BCD engines (paper
+     * Figs. 9-11).  No-op stub under GRAPHABCD_OBS=OFF.
+     */
+    void
+    setConvergenceSeries(std::shared_ptr<obs::ConvergenceSeries> series)
+    {
+        convergence = std::move(series);
+    }
+
+    /**
      * Run supersteps until no vertex is active or `max_iters`.
      * @param tol state changes <= tol do not reactivate.
      * @param iter_fn optional; return true to stop (objective-based
@@ -107,6 +121,7 @@ class GraphMatEngine
     run(std::vector<Value> &out_values, double tol,
         std::uint32_t max_iters = 10000, const IterFn &iter_fn = nullptr)
     {
+        Timer timer;
         GraphMatReport report;
         std::vector<Value> x(nVertices);
         for (VertexId v = 0; v < nVertices; v++)
@@ -128,6 +143,7 @@ class GraphMatEngine
         std::uint64_t active_count = nVertices;
         while (active_count > 0 && report.iterations < max_iters) {
             std::uint64_t moved = 0;
+            double step_l1 = 0.0;
             for (VertexId v = 0; v < nVertices; v++) {
                 Message acc = program.identity();
                 bool got = false;
@@ -148,7 +164,10 @@ class GraphMatEngine
                 }
                 next[v] = program.apply(v, acc, x[v]);
                 report.vertexUpdates++;
-                if (program.delta(next[v], x[v]) > tol) {
+                const double d = program.delta(next[v], x[v]);
+                if constexpr (obs::kEnabled)
+                    step_l1 += d;
+                if (d > tol) {
                     next_active[v] = 1;
                     moved++;
                 }
@@ -168,6 +187,27 @@ class GraphMatEngine
                 ? std::count(active.begin(), active.end(), char(1))
                 : moved;
             report.iterations++;
+            if constexpr (obs::kEnabled) {
+                if (convergence) {
+                    obs::ConvergencePoint pt;
+                    pt.epochs =
+                        static_cast<double>(report.vertexUpdates) /
+                        std::max<double>(nVertices, 1.0);
+                    pt.residual = step_l1;
+                    pt.activeVertices = moved;
+                    pt.vertexUpdates = report.vertexUpdates;
+                    pt.edgeTraversals = report.edgesProcessed;
+                    pt.wallSeconds = timer.seconds();
+                    // The BSP superstep IS the sample window: record
+                    // the last one as final so the curve always ends
+                    // on the terminating superstep.
+                    if (active_count == 0 ||
+                        report.iterations >= max_iters)
+                        convergence->recordFinal(pt);
+                    else
+                        convergence->record(pt);
+                }
+            }
             if (iter_fn && iter_fn(report.iterations, x)) {
                 report.converged = true;
                 break;
@@ -187,6 +227,7 @@ class GraphMatEngine
     std::vector<std::uint32_t> outDegrees;
     Program program;
     VertexId nVertices;
+    std::shared_ptr<obs::ConvergenceSeries> convergence;
 };
 
 } // namespace graphmat

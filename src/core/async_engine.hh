@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/engine.hh"
@@ -206,6 +207,7 @@ class AsyncEngine
     EngineReport
     runAsync(bool barrier_per_block)
     {
+        Timer timer;
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),
@@ -247,6 +249,11 @@ class AsyncEngine
             std::uint32_t pumps = 0;      //!< live participants
             bool halted = false;          //!< stop token or budget
             bool droppedWork = false;     //!< halt discarded FIFO items
+            // Convergence sample window (mutated under m, and only
+            // inside `if constexpr (obs::kEnabled)` sections).
+            double winL1 = 0.0;
+            std::uint64_t winActive = 0;
+            double nextSample = 0.0;
         } ctl;
         std::atomic<std::uint64_t> vertex_updates{0};
         std::atomic<std::uint64_t> block_updates{0};
@@ -261,6 +268,12 @@ class AsyncEngine
         obs::Histogram &staleHist = obs::histogram(
             "engine.async.staleness_blocks", obs::stalenessBuckets());
         obs::Gauge &depthGauge = obs::gauge("engine.async.queue_depth");
+
+        // Convergence samples fire at trace-interval epoch boundaries,
+        // inside the per-block locked commit the engine already takes.
+        const double sampleInterval =
+            options.traceInterval > 0.0 ? options.traceInterval : 1.0;
+        ctl.nextSample = sampleInterval;
 
         std::shared_ptr<Executor> exec = pool();
         std::shared_ptr<Executor::Job> job =
@@ -351,9 +364,11 @@ class AsyncEngine
             }
             for (;;) {
                 const BlockId b = cur->block;
+                VertexId chg = 0;
+                double l1 = 0.0;
                 {
                     obs::ScopedLatency lat(gasHist);
-                    auto [chg, l1] = processAndCommit(b, activations);
+                    std::tie(chg, l1) = processAndCommit(b, activations);
                     (void)chg;
                     (void)l1;
                 }
@@ -378,6 +393,32 @@ class AsyncEngine
                     for (auto &[dst, delta] : activations)
                         sched->activate(dst, delta);
                     ctl.inflight--;
+                    if constexpr (obs::kEnabled) {
+                        ctl.winL1 += l1;
+                        ctl.winActive += chg;
+                        if (options.convergence) {
+                            const double ep =
+                                static_cast<double>(
+                                    vertex_updates.load(
+                                        std::memory_order_relaxed)) /
+                                n;
+                            if (ep + 1e-12 >= ctl.nextSample) {
+                                ctl.nextSample = ep + sampleInterval;
+                                obs::ConvergencePoint pt;
+                                pt.epochs = ep;
+                                pt.residual = ctl.winL1;
+                                pt.activeVertices = ctl.winActive;
+                                pt.vertexUpdates = vertex_updates.load(
+                                    std::memory_order_relaxed);
+                                pt.edgeTraversals = edge_traversals.load(
+                                    std::memory_order_relaxed);
+                                pt.wallSeconds = timer.seconds();
+                                options.convergence->record(pt);
+                                ctl.winL1 = 0.0;
+                                ctl.winActive = 0;
+                            }
+                        }
+                    }
                     refillLocked();
                     if (allow_requeue && done >= kQuantum &&
                         !ctl.fifo.empty()) {
@@ -423,6 +464,19 @@ class AsyncEngine
         // job->wait() ordered every participant before this point.
         report.converged =
             !report.stopped && !ctl.droppedWork && sched->empty();
+        if constexpr (obs::kEnabled) {
+            report.residual = ctl.winL1;
+            if (options.convergence) {
+                obs::ConvergencePoint pt;
+                pt.epochs = report.epochs;
+                pt.residual = ctl.winL1;
+                pt.activeVertices = ctl.winActive;
+                pt.vertexUpdates = report.vertexUpdates;
+                pt.edgeTraversals = report.edgeTraversals;
+                pt.wallSeconds = timer.seconds();
+                options.convergence->recordFinal(pt);
+            }
+        }
         flushSchedulerCounters(*sched);
         return report;
     }
@@ -447,6 +501,7 @@ class AsyncEngine
         // Jacobi supersteps with a pool-parallel wave and a global
         // barrier (Job::wait) per iteration; commits go to a double
         // buffer.
+        Timer timer;
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),
@@ -459,6 +514,12 @@ class AsyncEngine
         std::shared_ptr<Executor> exec = pool();
         std::shared_ptr<Executor::Job> job =
             exec->createJob(participation);
+
+        const double sampleInterval =
+            options.traceInterval > 0.0 ? options.traceInterval : 1.0;
+        double nextSample = sampleInterval;
+        double winL1 = 0.0;
+        std::uint64_t winActive = 0;
 
         std::vector<BlockId> wave;
         std::vector<BlockUpdate<Value>> updates;
@@ -494,6 +555,26 @@ class AsyncEngine
                 commitUpdate(wave[i], updates[i], *sched, report);
             }
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            if constexpr (obs::kEnabled) {
+                for (const auto &update : updates) {
+                    winL1 += update.l1Delta;
+                    winActive += update.changed;
+                }
+                if (options.convergence &&
+                    report.epochs + 1e-12 >= nextSample) {
+                    nextSample = report.epochs + sampleInterval;
+                    obs::ConvergencePoint pt;
+                    pt.epochs = report.epochs;
+                    pt.residual = winL1;
+                    pt.activeVertices = winActive;
+                    pt.vertexUpdates = report.vertexUpdates;
+                    pt.edgeTraversals = report.edgeTraversals;
+                    pt.wallSeconds = timer.seconds();
+                    options.convergence->record(pt);
+                    winL1 = 0.0;
+                    winActive = 0;
+                }
+            }
             if (options.progress) {
                 options.progress->publish(report.vertexUpdates,
                                           report.blockUpdates,
@@ -504,6 +585,19 @@ class AsyncEngine
                 break;
         }
         report.converged = !report.stopped && sched->empty();
+        if constexpr (obs::kEnabled) {
+            report.residual = winL1;
+            if (options.convergence) {
+                obs::ConvergencePoint pt;
+                pt.epochs = report.epochs;
+                pt.residual = winL1;
+                pt.activeVertices = winActive;
+                pt.vertexUpdates = report.vertexUpdates;
+                pt.edgeTraversals = report.edgeTraversals;
+                pt.wallSeconds = timer.seconds();
+                options.convergence->recordFinal(pt);
+            }
+        }
         flushSchedulerCounters(*sched);
         return report;
     }

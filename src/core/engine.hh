@@ -53,6 +53,13 @@ struct EngineReport
     bool converged = false;       //!< quiescent before maxEpochs
     bool stopped = false;         //!< ended early by EngineOptions::stop
     double seconds = 0.0;         //!< host wall-clock (monotonic) of the run
+    /**
+     * L1 value delta accumulated over the last convergence sample
+     * window (roughly one epoch).  0 at quiescence, and always 0 under
+     * GRAPHABCD_OBS=OFF — residual accounting rides the observability
+     * hooks so the uninstrumented hot loop stays byte-comparable.
+     */
+    double residual = 0.0;
     std::vector<TracePoint> trace;
 };
 
@@ -103,7 +110,8 @@ class SerialEngine
     run(BcdState<Program> &state, const TraceFn &trace_fn = nullptr,
         const StopFn &stop_fn = nullptr)
     {
-        if (stop_fn && options.traceInterval <= 0.0)
+        if ((stop_fn || options.convergence) &&
+            options.traceInterval <= 0.0)
             options.traceInterval = 1.0;
         return options.mode == ExecMode::Bsp
             ? runJacobi(state, trace_fn, stop_fn)
@@ -146,11 +154,47 @@ class SerialEngine
             sched.activate(b, initialActivationPriority());
     }
 
+    /**
+     * Residual accumulator for one convergence sample window.  Only
+     * mutated inside `if constexpr (obs::kEnabled)` sections, so the
+     * OFF build's loop body is unchanged.
+     */
+    struct ConvWindow
+    {
+        double l1 = 0.0;            //!< sum of block l1Delta
+        std::uint64_t active = 0;   //!< vertices moved > tol
+    };
+
+    /** Publish one sample into options.convergence and reset `win`. */
+    void
+    sampleConvergence(EngineReport &report, const Timer &timer,
+                      ConvWindow &win, bool final)
+    {
+        if constexpr (obs::kEnabled) {
+            report.residual = win.l1;
+            if (options.convergence) {
+                obs::ConvergencePoint p;
+                p.epochs = report.epochs;
+                p.residual = win.l1;
+                p.activeVertices = win.active;
+                p.vertexUpdates = report.vertexUpdates;
+                p.edgeTraversals = report.edgeTraversals;
+                p.wallSeconds = timer.seconds();
+                if (final)
+                    options.convergence->recordFinal(p);
+                else
+                    options.convergence->record(p);
+            }
+            win = ConvWindow{};
+        }
+    }
+
     /** @return true when the StopFn asks to end the run. */
     bool
     maybeTrace(EngineReport &report, const BcdState<Program> &state,
                const TraceFn &trace_fn, const StopFn &stop_fn,
-               double &next_trace, double block_delta)
+               double &next_trace, double block_delta,
+               const Timer &timer, ConvWindow &win)
     {
         if (options.traceInterval <= 0.0)
             return false;
@@ -158,6 +202,7 @@ class SerialEngine
             return false;
         next_trace += options.traceInterval;
         report.trace.push_back(TracePoint{report.epochs, block_delta});
+        sampleConvergence(report, timer, win, false);
         if (trace_fn)
             trace_fn(report.epochs, state.values());
         return stop_fn && stop_fn(report.epochs, state.values());
@@ -181,6 +226,7 @@ class SerialEngine
             "engine.serial.scatter_fanout", obs::fanoutBuckets());
 
         double next_trace = options.traceInterval;
+        ConvWindow win;
         BlockUpdate<Value> update;
         while (auto b = sched->next()) {
             std::uint64_t block_scatter = 0;
@@ -200,13 +246,17 @@ class SerialEngine
             report.vertexUpdates += update.newValues.size();
             report.edgeTraversals += graph.blockEdgeCount(*b);
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            if constexpr (obs::kEnabled) {
+                win.l1 += update.l1Delta;
+                win.active += update.changed;
+            }
             publishProgress(report);
             if (options.stop.stopRequested()) {
                 report.stopped = true;
                 break;
             }
             if (maybeTrace(report, state, trace_fn, stop_fn, next_trace,
-                           update.l1Delta)) {
+                           update.l1Delta, timer, win)) {
                 report.converged = true;
                 report.seconds = timer.seconds();
                 return report;
@@ -214,6 +264,7 @@ class SerialEngine
             if (report.epochs >= options.maxEpochs)
                 break;
         }
+        sampleConvergence(report, timer, win, true);
         report.converged = sched->empty();
         report.seconds = timer.seconds();
         return report;
@@ -231,6 +282,7 @@ class SerialEngine
         seedScheduler(*sched);
 
         double next_trace = options.traceInterval;
+        ConvWindow win;
         std::vector<BlockId> wave;
         std::vector<BlockUpdate<Value>> updates;
         while (!sched->empty()) {
@@ -259,15 +311,19 @@ class SerialEngine
                 report.vertexUpdates += update.newValues.size();
                 report.edgeTraversals += graph.blockEdgeCount(update.block);
                 wave_delta += update.l1Delta;
+                if constexpr (obs::kEnabled)
+                    win.active += update.changed;
             }
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
+            if constexpr (obs::kEnabled)
+                win.l1 += wave_delta;
             publishProgress(report);
             if (options.stop.stopRequested()) {
                 report.stopped = true;
                 break;
             }
             if (maybeTrace(report, state, trace_fn, stop_fn, next_trace,
-                           wave_delta)) {
+                           wave_delta, timer, win)) {
                 report.converged = true;
                 report.seconds = timer.seconds();
                 return report;
@@ -275,6 +331,7 @@ class SerialEngine
             if (report.epochs >= options.maxEpochs)
                 break;
         }
+        sampleConvergence(report, timer, win, true);
         report.converged = sched->empty();
         report.seconds = timer.seconds();
         return report;

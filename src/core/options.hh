@@ -14,6 +14,7 @@
 
 #include "core/stop_token.hh"
 #include "graph/types.hh"
+#include "obs/obs.hh"
 
 namespace graphabcd {
 
@@ -117,6 +118,16 @@ struct EngineOptions
      * null or when the size does not match |V|.
      */
     std::shared_ptr<const std::vector<double>> warmStart;
+
+    /**
+     * Optional convergence curve sink: engines append one sample per
+     * trace interval (residual over the window, active vertices, work
+     * counters, wall/simulated time) plus a final sample at run end.
+     * When set and traceInterval is 0, engines sample once per epoch.
+     * Null (the default) records nothing; under GRAPHABCD_OBS=OFF the
+     * facade type is a no-op stub and this is always null.
+     */
+    std::shared_ptr<obs::ConvergenceSeries> convergence;
 
     /**
      * Worker pool the threaded asynchronous engine draws from.  Null

@@ -87,7 +87,7 @@ class HarpSystem
     SimReport
     run(std::vector<Value> &out_values, const StopFn &stop_fn = nullptr)
     {
-        Timer wall;
+        wallTimer.start();
         state = std::make_unique<BcdState<Program>>(graph, program);
         if constexpr (std::is_same_v<Value, double>) {
             if (engineOpt.warmStart &&
@@ -108,6 +108,7 @@ class HarpSystem
         nextTrace = engineOpt.traceInterval > 0.0
             ? engineOpt.traceInterval
             : 1.0;
+        nextConvSample = convInterval();
 
         if (engineOpt.mode == ExecMode::Bsp)
             startWave();
@@ -115,10 +116,11 @@ class HarpSystem
             events.schedule(0.0, [this] { trySchedule(); });
 
         events.runToCompletion();
+        recordConvergence(/*final=*/true);
 
         const double horizon = endTime;
         report.seconds = horizon;
-        report.hostSeconds = wall.seconds();
+        report.hostSeconds = wallTimer.seconds();
         report.epochs = static_cast<double>(report.vertexUpdates) /
                         std::max<double>(graph.numVertices(), 1.0);
         report.stopped = cancelled;
@@ -303,6 +305,12 @@ class HarpSystem
             peBusy[pe] += spec.computeSeconds(graph.blockEdgeCount(b),
                                               cfg.pePipelineDepth);
             peFreeAt[pe] = wr.end;
+            // Simulated FPGA timeline: one span per task on the PE's
+            // virtual track (simulated-time microseconds), so Perfetto
+            // shows busy/idle gaps next to the CPU scatter spans.
+            obs::completeOnTrack(static_cast<std::uint32_t>(pe),
+                                 "harp.pe.task", now * 1e6,
+                                 (wr.end - now) * 1e6);
 
             // Paper step 7: hand the finished block to the CPU queue.
             events.schedule(wr.end, [this, task = std::move(task)]() {
@@ -383,6 +391,8 @@ class HarpSystem
         cpuBusy[w] += service;
         cpuFreeAt[w] = done;
         report.cpuRandomBytes += write_bytes;
+        obs::completeOnTrack(cpuTrack(w), "harp.cpu.scatter", now * 1e6,
+                             service * 1e6);
 
         events.schedule(done, [this, task = std::move(task)]() {
             commitTask(task);
@@ -407,6 +417,8 @@ class HarpSystem
         cpuBusy[w] += service;
         cpuFreeAt[w] = done;
         report.cpuGatherTasks++;
+        obs::completeOnTrack(cpuTrack(w), "harp.cpu.gather", now * 1e6,
+                             service * 1e6);
 
         events.schedule(done, [this, task = std::move(task)]() {
             cpuQueue.push_back(task);
@@ -442,6 +454,11 @@ class HarpSystem
         report.edgeTraversals += graph.blockEdgeCount(task.block);
         inflight--;
         endTime = std::max(endTime, now);
+        if constexpr (obs::kEnabled) {
+            winL1 += task.update.l1Delta;
+            winActive += task.update.changed;
+        }
+        recordConvergence(/*final=*/false);
         if (engineOpt.progress) {
             engineOpt.progress->publish(report.vertexUpdates,
                                         report.blockUpdates,
@@ -496,12 +513,81 @@ class HarpSystem
                 [this](BlockId dst, double delta) {
                     sched->activate(dst, delta);
                 });
+            if constexpr (obs::kEnabled) {
+                winL1 += task.update.l1Delta;
+                winActive += task.update.changed;
+            }
         }
         waveDone.clear();
+        recordConvergence(/*final=*/false);
         checkStop();
         if (!stopped) {
             events.schedule(barrier_done, [this] { startWave(); });
         }
+    }
+
+    // -------------------------------------------------- observability
+
+    double
+    convInterval() const
+    {
+        return engineOpt.traceInterval > 0.0 ? engineOpt.traceInterval
+                                             : 1.0;
+    }
+
+    /**
+     * Publish one convergence sample (simulated + wall time) and keep
+     * the harp.pe_utilization gauge live while the simulation runs, so
+     * the periodic Sampler sees utilization evolve instead of only the
+     * end-of-run scalar.  Rides the per-block commit path; compiled
+     * out with the rest of the obs layer.
+     */
+    void
+    recordConvergence(bool final)
+    {
+        if constexpr (obs::kEnabled) {
+            const double epochs =
+                static_cast<double>(report.vertexUpdates) /
+                std::max<double>(graph.numVertices(), 1.0);
+            if (!final) {
+                if (epochs + 1e-12 < nextConvSample)
+                    return;
+                nextConvSample = epochs + convInterval();
+            }
+            const double now = events.now();
+            if (now > 0.0) {
+                double busy = 0.0;
+                for (double b : peBusy)
+                    busy += b;
+                obs::gauge("harp.pe_utilization")
+                    .set(busy /
+                         (static_cast<double>(totalPes()) * now));
+            }
+            if (engineOpt.convergence) {
+                obs::ConvergencePoint pt;
+                pt.epochs = epochs;
+                pt.residual = winL1;
+                pt.activeVertices = winActive;
+                pt.vertexUpdates = report.vertexUpdates;
+                pt.edgeTraversals = report.edgeTraversals;
+                pt.wallSeconds = wallTimer.seconds();
+                pt.simSeconds = now;
+                if (final)
+                    engineOpt.convergence->recordFinal(pt);
+                else
+                    engineOpt.convergence->record(pt);
+            }
+            winL1 = 0.0;
+            winActive = 0;
+        }
+    }
+
+    /** Track layout of the simulated timeline: PEs first, CPU workers
+     *  after.  Timestamps on these tracks are simulated microseconds. */
+    std::uint32_t
+    cpuTrack(std::int32_t worker) const
+    {
+        return totalPes() + static_cast<std::uint32_t>(worker);
     }
 
     // ---------------------------------------------------- termination
@@ -561,6 +647,10 @@ class HarpSystem
 
     std::uint64_t inflight = 0;
     double endTime = 0.0;
+    Timer wallTimer;
+    double winL1 = 0.0;          //!< convergence window accumulators:
+    std::uint64_t winActive = 0; //!< touched only when obs is enabled
+    double nextConvSample = 1.0;
     bool stopped = false;      //!< StopFn convergence fired
     bool cancelled = false;    //!< EngineOptions::stop fired
     double nextTrace = 1.0;

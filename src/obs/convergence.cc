@@ -1,0 +1,200 @@
+#include "obs/convergence.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace graphabcd {
+
+// ---------------------------------------------------- ConvergenceSeries
+
+ConvergenceSeries::ConvergenceSeries(std::uint64_t id, std::string label,
+                                     std::size_t capacity)
+    : id_(id), label_(std::move(label)),
+      capacity_(std::max<std::size_t>(2, capacity))
+{
+}
+
+void
+ConvergenceSeries::record(const ConvergencePoint &point)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    // Stride downsampling: drop all but every stride_-th sample, and
+    // when the buffer still fills, halve it and double the stride.
+    if (tick_++ % stride_ != 0)
+        return;
+    appendLocked(point);
+}
+
+void
+ConvergenceSeries::recordFinal(const ConvergencePoint &point)
+{
+    // The run's last sample always lands, regardless of stride, so the
+    // curve's final row and the engine report agree.
+    std::lock_guard<std::mutex> lock(mtx_);
+    appendLocked(point);
+}
+
+void
+ConvergenceSeries::appendLocked(const ConvergencePoint &point)
+{
+    if (points_.size() == capacity_) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < points_.size(); i += 2)
+            points_[keep++] = points_[i];
+        points_.resize(keep);
+        stride_ *= 2;
+    }
+    points_.push_back(point);
+}
+
+std::vector<ConvergencePoint>
+ConvergenceSeries::points() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return points_;
+}
+
+std::size_t
+ConvergenceSeries::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return points_.size();
+}
+
+ConvergencePoint
+ConvergenceSeries::back() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return points_.empty() ? ConvergencePoint{} : points_.back();
+}
+
+// -------------------------------------------------- ConvergenceRecorder
+
+ConvergenceRecorder &
+ConvergenceRecorder::global()
+{
+    static ConvergenceRecorder instance;
+    return instance;
+}
+
+ConvergenceRecorder::ConvergenceRecorder(std::size_t max_series)
+    : maxSeries_(std::max<std::size_t>(1, max_series))
+{
+}
+
+std::shared_ptr<ConvergenceSeries>
+ConvergenceRecorder::begin(std::string label)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto series = std::make_shared<ConvergenceSeries>(nextId_++,
+                                                      std::move(label));
+    series_.push_back(series);
+    while (series_.size() > maxSeries_)
+        series_.pop_front();
+    return series;
+}
+
+std::vector<std::shared_ptr<const ConvergenceSeries>>
+ConvergenceRecorder::list() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return {series_.begin(), series_.end()};
+}
+
+std::shared_ptr<const ConvergenceSeries>
+ConvergenceRecorder::find(const std::string &label) const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (auto it = series_.rbegin(); it != series_.rend(); ++it) {
+        if ((*it)->label() == label)
+            return *it;
+    }
+    return nullptr;
+}
+
+void
+ConvergenceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    series_.clear();
+}
+
+std::size_t
+ConvergenceRecorder::seriesCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return series_.size();
+}
+
+namespace {
+
+constexpr const char *kCsvHeader =
+    "series,label,epochs,residual,active_vertices,vertex_updates,"
+    "edge_traversals,wall_seconds,sim_seconds\n";
+
+void
+appendRows(std::ostringstream &os, const ConvergenceSeries &series)
+{
+    for (const ConvergencePoint &p : series.points()) {
+        os << series.id() << ',' << series.label() << ',' << p.epochs
+           << ',' << p.residual << ',' << p.activeVertices << ','
+           << p.vertexUpdates << ',' << p.edgeTraversals << ','
+           << p.wallSeconds << ',' << p.simSeconds << '\n';
+    }
+}
+
+} // namespace
+
+std::string
+ConvergenceRecorder::csv(const ConvergenceSeries &series)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << kCsvHeader;
+    appendRows(os, series);
+    return os.str();
+}
+
+std::string
+ConvergenceRecorder::csv() const
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << kCsvHeader;
+    for (const auto &series : list())
+        appendRows(os, *series);
+    return os.str();
+}
+
+std::string
+ConvergenceRecorder::json() const
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << "{\"series\":[";
+    bool first_series = true;
+    for (const auto &series : list()) {
+        os << (first_series ? "" : ",") << "\n{\"id\":" << series->id()
+           << ",\"label\":\"";
+        // Labels are library-built (jobNN:graph/algo) but escape
+        // defensively so a stray quote never breaks the document.
+        for (char c : series->label()) {
+            if (c == '"' || c == '\\')
+                os << '\\';
+            os << c;
+        }
+        os << "\",\"points\":[";
+        first_series = false;
+        bool first_point = true;
+        for (const ConvergencePoint &p : series->points()) {
+            os << (first_point ? "" : ",") << "[" << p.epochs << ","
+               << p.residual << "," << p.activeVertices << ","
+               << p.vertexUpdates << "," << p.edgeTraversals << ","
+               << p.wallSeconds << "," << p.simSeconds << "]";
+            first_point = false;
+        }
+        os << "]}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace graphabcd

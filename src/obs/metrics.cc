@@ -136,6 +136,23 @@ MetricsRegistry::dump() const
     return os.str();
 }
 
+MetricsSnapshot
+MetricsRegistry::snapshotAll() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mtx_);
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        snap.histograms.emplace_back(name, h->snapshot());
+    return snap;
+}
+
 void
 MetricsRegistry::reset()
 {

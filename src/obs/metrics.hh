@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace graphabcd {
@@ -188,6 +189,19 @@ class Histogram
 };
 
 /**
+ * One consistent-enough view of a whole registry, for renderers that
+ * should not hold the registration mutex while formatting (Prometheus
+ * exposition, the periodic Sampler).  Values are relaxed loads; names
+ * are sorted ascending within each kind.
+ */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/**
  * Name -> metric store.  Metrics are created on first use and never
  * destroyed before the registry, so returned references are stable and
  * safe to cache across a whole run.  One process-wide instance backs
@@ -221,6 +235,9 @@ class MetricsRegistry
      *   hist <name> count=N sum=S mean=M min=m max=X p50=... p99=...
      */
     std::string dump() const;
+
+    /** @return every metric's current value (relaxed loads). */
+    MetricsSnapshot snapshotAll() const;
 
     /** Zero every metric (references stay valid).  For tests/RESET. */
     void reset();

@@ -1,0 +1,200 @@
+#include "obs/metrics_server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/convergence.hh"
+#include "obs/log.hh"
+#include "obs/prometheus.hh"
+#include "obs/sampler.hh"
+
+namespace graphabcd {
+
+MetricsServer::~MetricsServer()
+{
+    stop();
+}
+
+bool
+MetricsServer::start(std::uint16_t port, std::string *error)
+{
+    stop();
+
+    auto fail = [&](const char *what) {
+        if (error) {
+            *error = std::string(what) + ": " + std::strerror(errno);
+        }
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind");
+    if (::listen(listenFd_, 8) != 0)
+        return fail("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    stopRequested_.store(false);
+    running_.store(true);
+    thread_ = std::thread([this] { loop(); });
+    GRAPHABCD_LOG_INFO("obs", "metrics server listening",
+                       LOGF("port", port_));
+    return true;
+}
+
+void
+MetricsServer::stop()
+{
+    if (!running_.load() && listenFd_ < 0)
+        return;
+    stopRequested_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false);
+    port_ = 0;
+}
+
+bool
+MetricsServer::handlePath(const std::string &path, std::string *body,
+                          std::string *content_type)
+{
+    if (path == "/metrics") {
+        *body = prometheusText();
+        *content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return true;
+    }
+    if (path == "/series") {
+        *body = Sampler::global().csv();
+        *content_type = "text/csv; charset=utf-8";
+        return true;
+    }
+    if (path == "/convergence") {
+        *body = ConvergenceRecorder::global().csv();
+        *content_type = "text/csv; charset=utf-8";
+        return true;
+    }
+    if (path == "/convergence.json") {
+        *body = ConvergenceRecorder::global().json();
+        *content_type = "application/json; charset=utf-8";
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off,
+                   MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+httpResponse(int status, const char *reason,
+             const std::string &content_type, const std::string &body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+} // namespace
+
+void
+MetricsServer::serveClient(int fd)
+{
+    // Read until the end of the request head (or a sane cap); only the
+    // request line matters, bodies are not supported.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() < 16384) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::istringstream line(req.substr(0, req.find("\r\n")));
+    std::string method, target;
+    line >> method >> target;
+    // Scrapers may append a query string; route on the path alone.
+    const std::string path = target.substr(0, target.find('?'));
+
+    std::string body, type;
+    if (method != "GET") {
+        sendAll(fd, httpResponse(405, "Method Not Allowed",
+                                 "text/plain",
+                                 "only GET is supported\n"));
+    } else if (handlePath(path, &body, &type)) {
+        sendAll(fd, httpResponse(200, "OK", type, body));
+    } else {
+        sendAll(fd, httpResponse(
+                        404, "Not Found", "text/plain",
+                        "routes: /metrics /series /convergence "
+                        "/convergence.json\n"));
+    }
+    ::close(fd);
+}
+
+void
+MetricsServer::loop()
+{
+    while (!stopRequested_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        // The timeout bounds how long stop() waits for the thread.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        serveClient(client);
+    }
+}
+
+} // namespace graphabcd

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MetricsServer — a minimal loopback HTTP/1.0 listener for scrapes.
+ *
+ * One background thread, blocking accept (bounded by a poll timeout so
+ * stop() is prompt), one request per connection, `Connection: close`.
+ * That is deliberately the whole design: a scrape every few seconds is
+ * the workload, so concurrency machinery would be dead weight, and the
+ * serve tool's stdin loop must never share a thread with socket I/O.
+ *
+ * Routes:
+ *   GET /metrics           Prometheus text exposition of the registry
+ *   GET /series            sampler time series as CSV
+ *   GET /convergence       convergence recorder as CSV
+ *   GET /convergence.json  convergence recorder as JSON
+ *
+ * Binds 127.0.0.1 only — this is an operator port, not a public API;
+ * production fronting belongs in a real proxy.  Port 0 requests an
+ * ephemeral port (tests); port() reports the bound one.
+ */
+
+#ifndef GRAPHABCD_OBS_METRICS_SERVER_HH
+#define GRAPHABCD_OBS_METRICS_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace graphabcd {
+
+class MetricsServer
+{
+  public:
+    MetricsServer() = default;
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:port (0 = ephemeral) and start serving.
+     * @return false with *error filled on bind/listen failure.
+     */
+    bool start(std::uint16_t port, std::string *error = nullptr);
+
+    /** Stop the thread and close the socket.  Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** @return the bound port (resolves port 0), 0 when stopped. */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * The response body for one request path, also used by the METRICS
+     * stdin verb and tests (no socket needed).
+     * @return true when the path is routable; *body and *content_type
+     * are filled on success.
+     */
+    static bool handlePath(const std::string &path, std::string *body,
+                           std::string *content_type);
+
+  private:
+    void loop();
+    void serveClient(int fd);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::thread thread_;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_METRICS_SERVER_HH

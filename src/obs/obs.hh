@@ -23,6 +23,7 @@
 #define GRAPHABCD_OBS_OBS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,10 @@
 #endif
 
 #if GRAPHABCD_OBS_ENABLED
+#include "obs/convergence.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "support/timer.hh"
 #endif
@@ -128,6 +132,72 @@ writeTrace(const std::string &path)
     return TraceRecorder::global().writeChromeTrace(path);
 }
 
+/** Record a span on a virtual trace track (simulated timelines). */
+inline void
+completeOnTrack(std::uint32_t track, const char *name, double start_us,
+                double dur_us)
+{
+    TraceRecorder::global().completeOnTrack(track, name, start_us,
+                                            dur_us);
+}
+
+using ConvergencePoint = ::graphabcd::ConvergencePoint;
+using ConvergenceSeries = ::graphabcd::ConvergenceSeries;
+
+/** Open a new series in the process-wide convergence recorder. */
+inline std::shared_ptr<ConvergenceSeries>
+beginConvergence(std::string label)
+{
+    return ConvergenceRecorder::global().begin(std::move(label));
+}
+
+/** One series as CSV (header row included). */
+inline std::string
+convergenceCsv(const ConvergenceSeries &series)
+{
+    return ConvergenceRecorder::csv(series);
+}
+
+/** Every retained series as CSV / JSON. */
+inline std::string
+convergenceCsv()
+{
+    return ConvergenceRecorder::global().csv();
+}
+
+inline std::string
+convergenceJson()
+{
+    return ConvergenceRecorder::global().json();
+}
+
+/** The registry as Prometheus text exposition (METRICS verb). */
+inline std::string
+prometheusText()
+{
+    return ::graphabcd::prometheusText();
+}
+
+/** Start/stop the process-wide periodic sampler. */
+inline void
+startSampler(double interval_seconds)
+{
+    Sampler::global().start(interval_seconds);
+}
+
+inline void
+stopSampler()
+{
+    Sampler::global().stop();
+}
+
+/** Sampler time series as CSV (/series endpoint). */
+inline std::string
+samplerCsv()
+{
+    return Sampler::global().csv();
+}
+
 #else // !GRAPHABCD_OBS_ENABLED
 
 inline constexpr bool kEnabled = false;
@@ -208,6 +278,80 @@ inline bool
 writeTrace(const std::string &)
 {
     return false;
+}
+
+inline void
+completeOnTrack(std::uint32_t, const char *, double, double)
+{
+}
+
+/** Same field layout as the enabled ConvergencePoint, so code that
+ *  builds one inside `if constexpr (obs::kEnabled)`-free sections
+ *  still compiles (the values go nowhere). */
+struct ConvergencePoint
+{
+    double epochs = 0.0;
+    double residual = 0.0;
+    std::uint64_t activeVertices = 0;
+    std::uint64_t vertexUpdates = 0;
+    std::uint64_t edgeTraversals = 0;
+    double wallSeconds = 0.0;
+    double simSeconds = 0.0;
+};
+
+struct ConvergenceSeries
+{
+    void record(const ConvergencePoint &) const {}
+    void recordFinal(const ConvergencePoint &) const {}
+    std::size_t size() const { return 0; }
+    ConvergencePoint back() const { return {}; }
+};
+
+/** Always null when observability is compiled out. */
+inline std::shared_ptr<ConvergenceSeries>
+beginConvergence(std::string)
+{
+    return nullptr;
+}
+
+inline std::string
+convergenceCsv(const ConvergenceSeries &)
+{
+    return {};
+}
+
+inline std::string
+convergenceCsv()
+{
+    return {};
+}
+
+inline std::string
+convergenceJson()
+{
+    return {};
+}
+
+inline std::string
+prometheusText()
+{
+    return {};
+}
+
+inline void
+startSampler(double)
+{
+}
+
+inline void
+stopSampler()
+{
+}
+
+inline std::string
+samplerCsv()
+{
+    return {};
 }
 
 #endif // GRAPHABCD_OBS_ENABLED

@@ -1,0 +1,75 @@
+#include "obs/prometheus.hh"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace graphabcd {
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "graphabcd_";
+    for (char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+namespace {
+
+/** Bound formatting must be stable across lines: Prometheus treats
+ *  `le` as an opaque label value, so "0.5" and "0.50" would be two
+ *  different buckets. */
+std::string
+formatDouble(double x)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << x;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snap)
+{
+    std::ostringstream os;
+    os << std::setprecision(12);
+    for (const auto &[name, value] : snap.counters) {
+        const std::string pn = prometheusName(name) + "_total";
+        os << "# TYPE " << pn << " counter\n"
+           << pn << ' ' << value << '\n';
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string pn = prometheusName(name);
+        os << "# TYPE " << pn << " gauge\n"
+           << pn << ' ' << value << '\n';
+    }
+    for (const auto &[name, hist] : snap.histograms) {
+        const std::string pn = prometheusName(name);
+        os << "# TYPE " << pn << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < hist.bounds.size(); i++) {
+            cumulative += i < hist.counts.size() ? hist.counts[i] : 0;
+            os << pn << "_bucket{le=\"" << formatDouble(hist.bounds[i])
+               << "\"} " << cumulative << '\n';
+        }
+        os << pn << "_bucket{le=\"+Inf\"} " << hist.count << '\n'
+           << pn << "_sum " << hist.sum << '\n'
+           << pn << "_count " << hist.count << '\n';
+    }
+    return os.str();
+}
+
+std::string
+prometheusText()
+{
+    return prometheusText(MetricsRegistry::global().snapshotAll());
+}
+
+} // namespace graphabcd

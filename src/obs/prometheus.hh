@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Prometheus text exposition (format version 0.0.4) of the metrics
+ * registry, so `abcd_serve --metrics-port` is scrapeable by a stock
+ * Prometheus/Grafana stack without an adapter.
+ *
+ * Mapping rules:
+ *  - every name is prefixed `graphabcd_` and sanitised to the metric
+ *    charset `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots become underscores);
+ *  - counters get the conventional `_total` suffix;
+ *  - histograms render cumulative `_bucket{le="..."}` lines ending in
+ *    `le="+Inf"` (equal to `_count`), plus `_sum` and `_count`.
+ */
+
+#ifndef GRAPHABCD_OBS_PROMETHEUS_HH
+#define GRAPHABCD_OBS_PROMETHEUS_HH
+
+#include <string>
+
+namespace graphabcd {
+
+struct MetricsSnapshot;
+
+/** @return `name` mapped into the Prometheus metric-name charset,
+ *  `graphabcd_` prefix included. */
+std::string prometheusName(const std::string &name);
+
+/** Render one snapshot as text exposition. */
+std::string prometheusText(const MetricsSnapshot &snap);
+
+/** Render the process-wide registry as text exposition. */
+std::string prometheusText();
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_PROMETHEUS_HH

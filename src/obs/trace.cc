@@ -41,10 +41,21 @@ TraceRecorder::threadRing()
     return *cache.ring;
 }
 
-void
-TraceRecorder::push(const TraceEvent &event)
+TraceRecorder::Ring &
+TraceRecorder::trackRing(std::uint32_t track)
 {
-    Ring &ring = threadRing();
+    std::lock_guard<std::mutex> lock(registerMtx_);
+    while (tracks_.size() <= track) {
+        tracks_.push_back(std::make_shared<Ring>(
+            ringCapacity_,
+            kTrackBase + static_cast<std::uint32_t>(tracks_.size())));
+    }
+    return *tracks_[track];
+}
+
+void
+TraceRecorder::pushInto(Ring &ring, const TraceEvent &event)
+{
     std::lock_guard<std::mutex> lock(ring.mtx);
     ring.events[ring.next] = event;
     ring.next++;
@@ -54,14 +65,28 @@ TraceRecorder::push(const TraceEvent &event)
     }
 }
 
+void
+TraceRecorder::push(const TraceEvent &event)
+{
+    pushInto(threadRing(), event);
+}
+
+void
+TraceRecorder::pushOnTrack(std::uint32_t track, const TraceEvent &event)
+{
+    pushInto(trackRing(track), event);
+}
+
 std::size_t
 TraceRecorder::eventCount() const
 {
     std::size_t total = 0;
     std::lock_guard<std::mutex> reg(registerMtx_);
-    for (const auto &ring : rings_) {
-        std::lock_guard<std::mutex> lock(ring->mtx);
-        total += ring->wrapped ? ring->events.size() : ring->next;
+    for (const auto &rings : {&rings_, &tracks_}) {
+        for (const auto &ring : *rings) {
+            std::lock_guard<std::mutex> lock(ring->mtx);
+            total += ring->wrapped ? ring->events.size() : ring->next;
+        }
     }
     return total;
 }
@@ -70,10 +95,12 @@ void
 TraceRecorder::clear()
 {
     std::lock_guard<std::mutex> reg(registerMtx_);
-    for (const auto &ring : rings_) {
-        std::lock_guard<std::mutex> lock(ring->mtx);
-        ring->next = 0;
-        ring->wrapped = false;
+    for (const auto &rings : {&rings_, &tracks_}) {
+        for (const auto &ring : *rings) {
+            std::lock_guard<std::mutex> lock(ring->mtx);
+            ring->next = 0;
+            ring->wrapped = false;
+        }
     }
 }
 
@@ -107,12 +134,14 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
     std::vector<FlatEvent> all;
     {
         std::lock_guard<std::mutex> reg(registerMtx_);
-        for (const auto &ring : rings_) {
-            std::lock_guard<std::mutex> lock(ring->mtx);
-            const std::size_t n =
-                ring->wrapped ? ring->events.size() : ring->next;
-            for (std::size_t i = 0; i < n; i++)
-                all.push_back(FlatEvent{ring->events[i], ring->tid});
+        for (const auto &rings : {&rings_, &tracks_}) {
+            for (const auto &ring : *rings) {
+                std::lock_guard<std::mutex> lock(ring->mtx);
+                const std::size_t n =
+                    ring->wrapped ? ring->events.size() : ring->next;
+                for (std::size_t i = 0; i < n; i++)
+                    all.push_back(FlatEvent{ring->events[i], ring->tid});
+            }
         }
     }
     std::sort(all.begin(), all.end(),

@@ -91,6 +91,30 @@ class TraceRecorder
             push(TraceEvent{name, nowMicros(), 0.0, 'i'});
     }
 
+    /**
+     * Virtual-track tids start here; real thread rings count up from 0
+     * and never reach this range.
+     */
+    static constexpr std::uint32_t kTrackBase = 1u << 16;
+
+    /**
+     * Record a finished span on a virtual track instead of the calling
+     * thread's ring.  Tracks carry timelines that belong to no host
+     * thread — e.g. per-PE busy intervals from the HARP simulator,
+     * where the timestamps are simulated microseconds.  The caller owns
+     * timestamp semantics; mixing simulated and wall tracks in one
+     * export is fine because Perfetto renders tids independently.
+     * Unlike thread rings, any thread may write any track (mutex per
+     * track, cold paths only).
+     */
+    void
+    completeOnTrack(std::uint32_t track, const char *name,
+                    double start_us, double dur_us)
+    {
+        if (enabled())
+            pushOnTrack(track, TraceEvent{name, start_us, dur_us, 'X'});
+    }
+
     /** @return retained events across all thread rings. */
     std::size_t eventCount() const;
 
@@ -119,12 +143,16 @@ class TraceRecorder
     };
 
     Ring &threadRing();
+    Ring &trackRing(std::uint32_t track);
+    static void pushInto(Ring &ring, const TraceEvent &event);
     void push(const TraceEvent &event);
+    void pushOnTrack(std::uint32_t track, const TraceEvent &event);
 
     const std::size_t ringCapacity_;
     std::atomic<bool> enabled_{false};
-    mutable std::mutex registerMtx_;   //!< rings_ growth only
+    mutable std::mutex registerMtx_;   //!< rings_/tracks_ growth only
     std::vector<std::shared_ptr<Ring>> rings_;
+    std::vector<std::shared_ptr<Ring>> tracks_;  //!< index = track id
 };
 
 /**

@@ -1,6 +1,22 @@
 #include "runtime/executor.hh"
 
+#include "obs/log.hh"
+#include "obs/obs.hh"
+
 namespace graphabcd {
+
+namespace {
+
+/** Resolved once per process (registration takes a mutex); the gauge
+ *  tracks the instantaneous cross-shard queue depth. */
+[[maybe_unused]] obs::Gauge &
+queuedGauge()
+{
+    static obs::Gauge &gauge = obs::gauge("executor.queued");
+    return gauge;
+}
+
+} // namespace
 
 // ------------------------------------------------------------- Executor
 
@@ -16,6 +32,8 @@ Executor::Executor(std::uint32_t num_workers)
     workers.reserve(n);
     for (std::uint32_t i = 0; i < n; i++)
         workers.emplace_back([this, i] { workerLoop(i); });
+    GRAPHABCD_LOG_INFO("runtime", "executor started",
+                       LOGF("workers", n));
 }
 
 Executor::~Executor()
@@ -67,6 +85,9 @@ Executor::enqueue(Task task)
         shards[shard]->queue.push_back(std::move(task));
     }
     queued.fetch_add(1, std::memory_order_release);
+    if constexpr (obs::kEnabled)
+        queuedGauge().set(static_cast<double>(
+            queued.load(std::memory_order_relaxed)));
     // The empty critical section orders the queued increment against a
     // worker's predicate check, so the notify cannot be lost.
     { std::lock_guard<std::mutex> lock(sleepMtx); }
@@ -111,6 +132,9 @@ Executor::workerLoop(std::uint32_t self)
         bool stolen = false;
         if (tryTake(self, task, stolen)) {
             queued.fetch_sub(1, std::memory_order_acq_rel);
+            if constexpr (obs::kEnabled)
+                queuedGauge().set(static_cast<double>(
+                    queued.load(std::memory_order_relaxed)));
             if (stolen)
                 nSteals.fetch_add(1, std::memory_order_relaxed);
             task.fn();

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/log.hh"
 #include "obs/obs.hh"
 #include "serve/runner.hh"
 #include "support/timer.hh"
@@ -54,6 +55,10 @@ JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
     workers_.reserve(cfg_.workers);
     for (std::uint32_t i = 0; i < std::max(1u, cfg_.workers); i++)
         workers_.emplace_back([this] { workerLoop(); });
+    GRAPHABCD_LOG_INFO("serve", "job manager started",
+                       LOGF("workers", std::max(1u, cfg_.workers)),
+                       LOGF("queue_capacity", cfg_.queueCapacity),
+                       LOGF("pool_threads", executor_->size()));
 }
 
 JobManager::~JobManager()
@@ -64,7 +69,11 @@ JobManager::~JobManager()
 JobManager::Submitted
 JobManager::submit(JobRequest req)
 {
-    auto reject = [this](SubmitError error) {
+    auto reject = [this, &req](SubmitError error) {
+        GRAPHABCD_LOG_WARN("serve", "job rejected",
+                           LOGF("reason", to_string(error)),
+                           LOGF("graph", req.graph),
+                           LOGF("algo", req.algo));
         std::lock_guard<std::mutex> lock(mtx_);
         stats_.submitted++;
         stats_.rejected++;
@@ -124,6 +133,10 @@ JobManager::submit(JobRequest req)
                           ? SubmitError::ShuttingDown
                           : SubmitError::QueueFull);
 
+    GRAPHABCD_LOG_DEBUG("serve", "job admitted", LOGF("job", job->id),
+                        LOGF("graph", job->req.graph),
+                        LOGF("algo", job->req.algo),
+                        LOGF("engine", job->req.engine));
     std::lock_guard<std::mutex> lock(mtx_);
     stats_.submitted++;
     jobs_.emplace(job->id, job);
@@ -210,6 +223,15 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
                                                 JobState::Running))
             return;
         job->startedAt = monotonicSeconds();
+        // Open this run's convergence curve in the process-wide
+        // recorder.  The sink is a serve-layer hook (like stop and
+        // progress), so the cache fingerprint is unaffected.
+        if constexpr (obs::kEnabled) {
+            job->series = obs::beginConvergence(
+                "job" + std::to_string(job->id) + ":" + job->req.graph +
+                "/" + job->req.algo + "/" + job->req.engine);
+            job->req.options.convergence = job->series;
+        }
     }
     running_.fetch_add(1, std::memory_order_relaxed);
 
@@ -282,6 +304,10 @@ JobManager::finishJob(const std::shared_ptr<Job> &job, JobState from,
         }
     }
     doneCv_.notify_all();
+    GRAPHABCD_LOG_INFO("serve", "job finished", LOGF("job", job->id),
+                       LOGF("state", to_string(to)),
+                       LOGF("cache_hit", job->cacheHit),
+                       LOGF("error", job->error));
     return true;
 }
 
@@ -409,6 +435,14 @@ JobManager::stats() const
     return out;
 }
 
+std::shared_ptr<const obs::ConvergenceSeries>
+JobManager::convergence(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second->series;
+}
+
 void
 JobManager::shutdown()
 {
@@ -428,6 +462,7 @@ JobManager::shutdown()
             t.join();
     }
     workers_.clear();
+    GRAPHABCD_LOG_INFO("serve", "job manager stopped");
 }
 
 } // namespace graphabcd

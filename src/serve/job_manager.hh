@@ -104,6 +104,15 @@ class JobManager
     /** Service counters and gauges. */
     ServeStats stats() const;
 
+    /**
+     * The job's convergence curve (one sample per trace interval),
+     * recorded while the engine runs and retained with the job record.
+     * Null for unknown ids, cache-hit jobs (nothing ran), and always
+     * under GRAPHABCD_OBS=OFF.
+     */
+    std::shared_ptr<const obs::ConvergenceSeries>
+    convergence(JobId id) const;
+
     /** The result cache (hit counters, capacity). */
     ResultCache &cache() { return cache_; }
     const ResultCache &cache() const { return cache_; }
@@ -123,6 +132,7 @@ class JobManager
 
         StopSource stop;
         std::shared_ptr<Progress> progress;
+        std::shared_ptr<obs::ConvergenceSeries> series;
 
         std::atomic<JobState> state{JobState::Queued};
         double submittedAt = 0.0;   //!< monotonicSeconds()

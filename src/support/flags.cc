@@ -117,11 +117,14 @@ Flags::getBool(const std::string &name) const
 void
 Flags::usage(const std::string &program) const
 {
-    std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+    // Help is requested output, not diagnostics: it goes to stdout so
+    // `tool --help | less` works; diagnostics ride the structured
+    // logger (obs/log.hh) on stderr.
+    std::printf("usage: %s [flags]\n", program.c_str());
     for (const auto &name : order) {
         const Entry &entry = entries.at(name);
-        std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
-                     entry.help.c_str(), entry.value.c_str());
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                    entry.help.c_str(), entry.value.c_str());
     }
 }
 

@@ -13,11 +13,12 @@
 #ifndef GRAPHABCD_SUPPORT_LOGGING_HH
 #define GRAPHABCD_SUPPORT_LOGGING_HH
 
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "obs/log.hh"
 
 namespace graphabcd {
 
@@ -87,9 +88,12 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
+    // Routed through the structured logger's Logger directly (not the
+    // compile-out macros): status messages are user-facing output of
+    // the tools, so they must survive GRAPHABCD_OBS=OFF builds too.
     if (verbose()) {
-        std::fprintf(stderr, "info: %s\n",
-                     detail::concat(std::forward<Args>(args)...).c_str());
+        obs::logAt(obs::LogLevel::Info, "graphabcd",
+                   detail::concat(std::forward<Args>(args)...).c_str());
     }
 }
 
@@ -102,8 +106,8 @@ void
 warn(Args &&...args)
 {
     if (verbose()) {
-        std::fprintf(stderr, "warn: %s\n",
-                     detail::concat(std::forward<Args>(args)...).c_str());
+        obs::logAt(obs::LogLevel::Warn, "graphabcd",
+                   detail::concat(std::forward<Args>(args)...).c_str());
     }
 }
 

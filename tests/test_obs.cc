@@ -8,16 +8,34 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "algorithms/pagerank.hh"
+#include "baselines/graphmat/engine.hh"
+#include "baselines/graphmat/programs.hh"
 #include "core/async_engine.hh"
+#include "core/engine.hh"
 #include "graph/generators.hh"
+#include "obs/convergence.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "obs/metrics_server.hh"
 #include "obs/obs.hh"
+#include "obs/prometheus.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 
 namespace graphabcd {
@@ -59,6 +77,46 @@ TEST(Histogram, QuantileReturnsBucketUpperBoundOrMax)
     EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0);
     EXPECT_DOUBLE_EQ(snap.quantile(0.75), 4.0);
     EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);   // overflow -> max
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    // Empty: every quantile is the defined zero, not UB.
+    {
+        Histogram h({1.0, 2.0});
+        const Histogram::Snapshot snap = h.snapshot();
+        EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+        EXPECT_DOUBLE_EQ(snap.quantile(1.0), 0.0);
+    }
+    // Single bucket holding every sample: all quantiles report its
+    // upper bound (the estimate is bucket-granular by design).
+    {
+        Histogram h({10.0});
+        for (double x : {1.0, 2.0, 3.0})
+            h.record(x);
+        const Histogram::Snapshot snap = h.snapshot();
+        EXPECT_DOUBLE_EQ(snap.quantile(0.0), 10.0);
+        EXPECT_DOUBLE_EQ(snap.quantile(0.5), 10.0);
+        EXPECT_DOUBLE_EQ(snap.quantile(1.0), 10.0);
+    }
+    // Every sample beyond the last bound: the overflow bucket has no
+    // upper bound, so quantiles fall back to the observed max.
+    {
+        Histogram h({1.0});
+        h.record(5.0);
+        h.record(7.0);
+        const Histogram::Snapshot snap = h.snapshot();
+        EXPECT_DOUBLE_EQ(snap.quantile(0.0), 7.0);
+        EXPECT_DOUBLE_EQ(snap.quantile(1.0), 7.0);
+    }
+    // Exactly one sample: q=0 and q=1 agree on its bucket.
+    {
+        Histogram h({1.0, 2.0});
+        h.record(1.5);
+        const Histogram::Snapshot snap = h.snapshot();
+        EXPECT_DOUBLE_EQ(snap.quantile(0.0), 2.0);
+        EXPECT_DOUBLE_EQ(snap.quantile(1.0), 2.0);
+    }
 }
 
 TEST(Histogram, EmptySnapshotIsWellDefined)
@@ -211,6 +269,415 @@ TEST(TraceRecorder, ThreadsGetDistinctRings)
     EXPECT_NE(json.find("\"name\":\"b\""), std::string::npos);
 }
 
+TEST(TraceRecorder, VirtualTracksGetHighTidsAnyThreadMayWrite)
+{
+    TraceRecorder rec(8);
+    rec.setEnabled(true);
+    rec.completeOnTrack(0, "pe.task", 0.0, 5.0);
+    std::thread t([&] { rec.completeOnTrack(2, "pe.task", 5.0, 5.0); });
+    t.join();
+    EXPECT_EQ(rec.eventCount(), 2u);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    // Tracks 0 and 2 render as tids kTrackBase + index, far above any
+    // real thread ring's tid.
+    const auto base = TraceRecorder::kTrackBase;
+    EXPECT_NE(json.find("\"tid\":" + std::to_string(base)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":" + std::to_string(base + 2)),
+              std::string::npos);
+
+    rec.clear();
+    EXPECT_EQ(rec.eventCount(), 0u);
+}
+
+// ----------------------------------------------------------- convergence
+
+TEST(Convergence, StrideDownsamplingBoundsMemoryKeepsOrderAndFinal)
+{
+    ConvergenceSeries series(1, "unit", 16);
+    for (int i = 0; i < 1000; i++) {
+        ConvergencePoint p;
+        p.epochs = static_cast<double>(i);
+        p.residual = 1000.0 - i;
+        series.record(p);
+    }
+    EXPECT_LE(series.size(), 16u);
+    const auto pts = series.points();
+    ASSERT_GE(pts.size(), 2u);
+    for (std::size_t i = 1; i < pts.size(); i++)
+        EXPECT_LT(pts[i - 1].epochs, pts[i].epochs);
+
+    // The run's last sample always lands, whatever the stride is.
+    ConvergencePoint last;
+    last.epochs = 5000.0;
+    series.recordFinal(last);
+    EXPECT_DOUBLE_EQ(series.back().epochs, 5000.0);
+    EXPECT_LE(series.size(), 16u);
+}
+
+TEST(Convergence, RecorderRetainsBoundedSeriesAndRendersCsvJson)
+{
+    ConvergenceRecorder rec(2);
+    auto a = rec.begin("a");
+    {
+        ConvergencePoint p;
+        p.epochs = 1.0;
+        p.residual = 0.5;
+        p.activeVertices = 7;
+        a->record(p);
+    }
+    rec.begin("b");
+    rec.begin("c");
+    EXPECT_EQ(rec.seriesCount(), 2u);
+    EXPECT_EQ(rec.find("a"), nullptr);   // oldest evicted
+    EXPECT_NE(rec.find("c"), nullptr);
+
+    const std::string csv = ConvergenceRecorder::csv(*a);
+    EXPECT_EQ(csv.rfind("series,label,epochs,residual,active_vertices,"
+                        "vertex_updates,edge_traversals,wall_seconds,"
+                        "sim_seconds\n",
+                        0),
+              0u);
+    EXPECT_NE(csv.find(",a,1,"), std::string::npos);
+
+    EXPECT_NE(rec.csv().find("series,label"), std::string::npos);
+    const std::string json = rec.json();
+    EXPECT_EQ(json.rfind("{\"series\":[", 0), 0u);
+    EXPECT_NE(json.find("\"label\":\"b\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- sampler
+
+TEST(Sampler, SampleOnceSnapshotsCountersAndGauges)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs").add(5);
+    registry.gauge("depth").set(2.5);
+    Sampler sampler(registry, 64);
+
+    sampler.sampleOnce();
+    registry.counter("jobs").add(1);
+    sampler.sampleOnce();
+
+    EXPECT_EQ(sampler.seriesCount(), 2u);
+    bool saw_counter = false, saw_gauge = false;
+    for (const auto &series : sampler.series()) {
+        if (series->key() == "counter:jobs") {
+            saw_counter = true;
+            ASSERT_EQ(series->size(), 2u);
+            EXPECT_DOUBLE_EQ(series->points()[0].value, 5.0);
+            EXPECT_DOUBLE_EQ(series->back().value, 6.0);
+        } else if (series->key() == "gauge:depth") {
+            saw_gauge = true;
+            EXPECT_DOUBLE_EQ(series->back().value, 2.5);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
+
+    const std::string csv = sampler.csv();
+    EXPECT_EQ(csv.rfind("key,t_seconds,value\n", 0), 0u);
+    EXPECT_NE(csv.find("counter:jobs,"), std::string::npos);
+}
+
+TEST(Sampler, BackgroundThreadRecordsOverTimeAndStops)
+{
+    MetricsRegistry registry;
+    registry.gauge("load").set(1.0);
+    Sampler sampler(registry, 64);
+    sampler.start(0.001);
+    EXPECT_TRUE(sampler.running());
+    // Wait for at least a couple of ticks, bounded to stay robust on a
+    // loaded CI machine.
+    for (int i = 0; i < 200; i++) {
+        if (sampler.seriesCount() > 0 &&
+            sampler.series()[0]->size() >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    ASSERT_EQ(sampler.seriesCount(), 1u);
+    EXPECT_GE(sampler.series()[0]->size(), 2u);
+    // Series stay readable after stop, and restart keeps the time axis.
+    const std::size_t before = sampler.series()[0]->size();
+    sampler.start(0.001);
+    sampler.stop();
+    EXPECT_GE(sampler.series()[0]->size(), before);
+}
+
+// ------------------------------------------------------------ prometheus
+
+namespace prom {
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto ok_first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+               c == ':';
+    };
+    auto ok_rest = [&](char c) {
+        return ok_first(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!ok_first(name[0]))
+        return false;
+    for (char c : name.substr(1)) {
+        if (!ok_rest(c))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Line-format validator for text exposition 0.0.4: every line is
+ * either `# TYPE <name> <kind>` or `<name>[{labels}] <value>`.
+ * @return true when the whole document parses; *why names the first
+ * offending line otherwise.
+ */
+bool
+validate(const std::string &text, std::string *why)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            *why = "document does not end in a newline";
+            return false;
+        }
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty()) {
+            *why = "empty line";
+            return false;
+        }
+        if (line[0] == '#') {
+            std::istringstream iss(line);
+            std::string hash, keyword, name, kind;
+            iss >> hash >> keyword >> name >> kind;
+            if (hash != "#" || keyword != "TYPE" || !validName(name) ||
+                (kind != "counter" && kind != "gauge" &&
+                 kind != "histogram")) {
+                *why = "bad comment line: " + line;
+                return false;
+            }
+            continue;
+        }
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos) {
+            *why = "sample line without a value: " + line;
+            return false;
+        }
+        std::string series = line.substr(0, sp);
+        const std::string value = line.substr(sp + 1);
+        char *end = nullptr;
+        std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+            *why = "unparsable value: " + line;
+            return false;
+        }
+        const std::size_t brace = series.find('{');
+        if (brace != std::string::npos) {
+            if (series.back() != '}') {
+                *why = "unterminated label set: " + line;
+                return false;
+            }
+            series = series.substr(0, brace);
+        }
+        if (!validName(series)) {
+            *why = "bad metric name: " + line;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace prom
+
+TEST(Prometheus, NamesArePrefixedAndSanitised)
+{
+    EXPECT_EQ(prometheusName("engine.async.block_gas_us"),
+              "graphabcd_engine_async_block_gas_us");
+    EXPECT_EQ(prometheusName("harp.pe_utilization"),
+              "graphabcd_harp_pe_utilization");
+    EXPECT_TRUE(prom::validName(prometheusName("weird name!/7")));
+}
+
+TEST(Prometheus, TextExpositionIsWellFormed)
+{
+    MetricsSnapshot snap;
+    snap.counters.emplace_back("serve.jobs", 3);
+    snap.gauges.emplace_back("harp.pe_utilization", 0.5);
+    Histogram h({1.0, 2.0});
+    h.record(0.5);
+    h.record(5.0);
+    snap.histograms.emplace_back("lat.us", h.snapshot());
+
+    const std::string text = prometheusText(snap);
+    std::string why;
+    EXPECT_TRUE(prom::validate(text, &why)) << why;
+
+    EXPECT_NE(text.find("# TYPE graphabcd_serve_jobs_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("graphabcd_serve_jobs_total 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("graphabcd_harp_pe_utilization 0.5"),
+              std::string::npos);
+    // Histogram buckets are cumulative and end at le="+Inf" == count.
+    EXPECT_NE(text.find("graphabcd_lat_us_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("graphabcd_lat_us_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("graphabcd_lat_us_count 2"), std::string::npos);
+}
+
+TEST(Prometheus, GlobalRegistryExpositionValidates)
+{
+    MetricsRegistry::global().counter("test.prom_exposition").add(2);
+    const std::string text = prometheusText();
+    std::string why;
+    EXPECT_TRUE(prom::validate(text, &why)) << why;
+    EXPECT_NE(
+        text.find("graphabcd_test_prom_exposition_total"),
+        std::string::npos);
+}
+
+// -------------------------------------------------------- metrics server
+
+TEST(MetricsServer, HandlePathRoutes)
+{
+    std::string body, content_type;
+    EXPECT_TRUE(MetricsServer::handlePath("/metrics", &body,
+                                          &content_type));
+    EXPECT_NE(content_type.find("text/plain"), std::string::npos);
+    EXPECT_TRUE(MetricsServer::handlePath("/series", &body,
+                                          &content_type));
+    EXPECT_TRUE(MetricsServer::handlePath("/convergence", &body,
+                                          &content_type));
+    EXPECT_TRUE(MetricsServer::handlePath("/convergence.json", &body,
+                                          &content_type));
+    EXPECT_NE(content_type.find("application/json"), std::string::npos);
+    EXPECT_FALSE(MetricsServer::handlePath("/nope", &body,
+                                           &content_type));
+}
+
+namespace {
+
+/** One blocking HTTP/1.0 GET against loopback; returns the raw reply. */
+std::string
+httpGet(std::uint16_t port, const std::string &target)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string req =
+        "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    (void)!::send(fd, req.data(), req.size(), 0);
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+}
+
+} // namespace
+
+TEST(MetricsServer, ServesPrometheusTextOverLoopback)
+{
+    MetricsRegistry::global().counter("test.server_metric").add(1);
+
+    MetricsServer server;
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    ASSERT_GT(server.port(), 0);
+
+    const std::string reply = httpGet(server.port(), "/metrics");
+    ASSERT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos);
+    ASSERT_NE(reply.find("\r\n\r\n"), std::string::npos);
+    const std::string body =
+        reply.substr(reply.find("\r\n\r\n") + 4);
+    std::string why;
+    EXPECT_TRUE(prom::validate(body, &why)) << why;
+    EXPECT_NE(body.find("graphabcd_test_server_metric_total"),
+              std::string::npos);
+
+    EXPECT_NE(httpGet(server.port(), "/nope").find("404"),
+              std::string::npos);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------- logger
+
+TEST(Logger, PlainAndJsonFormatsAndLevelFilter)
+{
+    obs::Logger &logger = obs::Logger::global();
+    const obs::LogLevel old_level = logger.level();
+    const bool old_json = logger.json();
+
+    std::vector<std::string> lines;
+    logger.setSink([&lines](const std::string &line) {
+        lines.push_back(line);
+    });
+    logger.setLevel(obs::LogLevel::Info);
+    logger.setJson(false);
+
+    obs::logAt(obs::LogLevel::Debug, "test", "filtered out");
+    obs::logAt(obs::LogLevel::Info, "test", "job finished",
+               obs::LogField("job", 3), obs::LogField("state", "done"),
+               obs::LogField("ok", true));
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("INFO test: job finished job=3 state=done "
+                            "ok=true"),
+              std::string::npos);
+
+    logger.setJson(true);
+    obs::logAt(obs::LogLevel::Warn, "test", "queue \"full\"",
+               obs::LogField("depth", 1.5));
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[1].rfind("{\"ts\":\"", 0), 0u);
+    EXPECT_NE(lines[1].find("\"level\":\"warn\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"msg\":\"queue \\\"full\\\"\""),
+              std::string::npos);
+    // Numbers stay unquoted so `jq` sees them as numbers.
+    EXPECT_NE(lines[1].find("\"depth\":1.5"), std::string::npos);
+
+    logger.setSink(nullptr);
+    logger.setLevel(old_level);
+    logger.setJson(old_json);
+}
+
+TEST(Logger, ParseLevelNamesAndFallback)
+{
+    EXPECT_EQ(obs::parseLogLevel("debug"), obs::LogLevel::Debug);
+    EXPECT_EQ(obs::parseLogLevel("error"), obs::LogLevel::Error);
+    EXPECT_EQ(obs::parseLogLevel("off"), obs::LogLevel::Off);
+    EXPECT_EQ(obs::parseLogLevel("nonsense", obs::LogLevel::Warn),
+              obs::LogLevel::Warn);
+    EXPECT_EQ(obs::parseLogLevel(nullptr, obs::LogLevel::Debug),
+              obs::LogLevel::Debug);
+}
+
 // ----------------------------------------------- engine instrumentation
 
 #if GRAPHABCD_OBS_ENABLED
@@ -268,6 +735,78 @@ TEST(EngineObs, AsyncRunRecordsLatencyFanoutAndSchedulerCounters)
     EXPECT_EQ(gas.count(), report.blockUpdates);
     EXPECT_EQ(fanout.count(), report.blockUpdates);
     EXPECT_GT(activations.value(), 0u);
+}
+
+TEST(EngineObs, SerialPageRankConvergenceCurveIsMonotone)
+{
+    Rng rng(63);
+    EdgeList el = generateRmat(300, 2400, rng);
+    EngineOptions opt;
+    opt.blockSize = 32;
+    auto series = std::make_shared<ConvergenceSeries>(1, "pr-serial");
+    opt.convergence = series;
+    BlockPartition g(el, opt.blockSize);
+    SerialEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.converged);
+
+    // This is the paper's Fig. 9-11 claim in miniature: the residual
+    // (window L1 delta) of a PageRank run decays monotonically.
+    const auto pts = series->points();
+    ASSERT_GE(pts.size(), 2u);
+    for (std::size_t i = 1; i < pts.size(); i++) {
+        EXPECT_LE(pts[i].residual, pts[i - 1].residual + 1e-12)
+            << "residual rose at sample " << i;
+        EXPECT_LT(pts[i - 1].epochs, pts[i].epochs);
+    }
+    // The final CSV row is the report's residual, by construction.
+    EXPECT_DOUBLE_EQ(pts.back().residual, report.residual);
+    EXPECT_EQ(pts.back().vertexUpdates, report.vertexUpdates);
+
+    const std::string csv = ConvergenceRecorder::csv(*series);
+    EXPECT_EQ(csv.rfind("series,label,epochs,residual,", 0), 0u);
+}
+
+TEST(EngineObs, AsyncEngineRecordsConvergenceAndFinalResidual)
+{
+    Rng rng(64);
+    EdgeList el = generateRmat(200, 1600, rng);
+    EngineOptions opt;
+    opt.blockSize = 16;
+    opt.numThreads = 2;
+    auto series = std::make_shared<ConvergenceSeries>(2, "pr-async");
+    opt.convergence = series;
+    BlockPartition g(el, opt.blockSize);
+    AsyncEngine<PageRankProgram> engine(g, PageRankProgram(), opt);
+    std::vector<double> x;
+    EngineReport report = engine.run(x);
+    EXPECT_TRUE(report.converged);
+
+    ASSERT_GE(series->size(), 1u);
+    EXPECT_DOUBLE_EQ(series->back().residual, report.residual);
+    EXPECT_EQ(series->back().vertexUpdates, report.vertexUpdates);
+}
+
+TEST(EngineObs, GraphMatBaselineRecordsOneSamplePerSuperstep)
+{
+    Rng rng(65);
+    EdgeList el = generateRmat(200, 1600, rng);
+    const auto degs = el.outDegrees();
+    graphmat::GraphMatEngine<graphmat::PageRankSpmv> engine(
+        el, graphmat::PageRankSpmv(0.85, degs));
+    auto series = std::make_shared<ConvergenceSeries>(3, "pr-graphmat");
+    engine.setConvergenceSeries(series);
+
+    std::vector<graphmat::PageRankSpmv::Value> values;
+    const graphmat::GraphMatReport report =
+        engine.run(values, 1e-9, 200);
+
+    EXPECT_EQ(series->size(), report.iterations);
+    const auto pts = series->points();
+    for (std::size_t i = 1; i < pts.size(); i++)
+        EXPECT_LE(pts[i].residual, pts[i - 1].residual + 1e-12);
+    EXPECT_EQ(pts.back().vertexUpdates, report.vertexUpdates);
 }
 
 #endif // GRAPHABCD_OBS_ENABLED

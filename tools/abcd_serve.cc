@@ -15,7 +15,15 @@
  *   CANCEL <job-id>
  *   VALUE <job-id> <vertex>
  *   TRACE <file>          write the trace buffer as Chrome JSON
+ *   METRICS               Prometheus text exposition of the registry
+ *   CONV <job-id> [file]  the job's convergence curve as CSV
  *   GRAPHS | STATS | HELP | QUIT
+ *
+ * With --metrics-port=N the same exposition (plus /series and
+ * /convergence) is served over loopback HTTP for scrapes, and
+ * --sample-ms=N runs the background sampler so counters/gauges gain a
+ * time dimension; --log-level/--log-json configure the structured
+ * logger on stderr.
  *
  * STATS reports the service counters and, when the build carries the
  * observability layer (GRAPHABCD_OBS=ON, the default), dumps the whole
@@ -32,6 +40,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -40,6 +49,8 @@
 
 #include "graph/datasets.hh"
 #include "graph/io.hh"
+#include "obs/log.hh"
+#include "obs/metrics_server.hh"
 #include "obs/obs.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job_manager.hh"
@@ -132,6 +143,10 @@ class ServeShell
                 stats();
             else if (cmd == "TRACE")
                 trace(tokens);
+            else if (cmd == "METRICS")
+                metrics();
+            else if (cmd == "CONV")
+                conv(tokens);
             else
                 std::printf("ERR BadCommand unknown command '%s'\n",
                             cmd.c_str());
@@ -149,7 +164,7 @@ class ServeShell
     {
         std::printf(
             "OK commands: LOAD RUN STATUS WAIT CANCEL VALUE GRAPHS "
-            "STATS TRACE HELP QUIT\n");
+            "STATS TRACE METRICS CONV HELP QUIT\n");
     }
 
     void
@@ -376,6 +391,53 @@ class ServeShell
     }
 
     void
+    metrics()
+    {
+        // Same body the HTTP /metrics route serves; empty when built
+        // with GRAPHABCD_OBS=OFF (no registered metrics).
+        std::string body, content_type;
+        MetricsServer::handlePath("/metrics", &body, &content_type);
+        std::printf("OK metrics bytes=%zu\n", body.size());
+        std::fwrite(body.data(), 1, body.size(), stdout);
+    }
+
+    void
+    conv(const std::vector<std::string> &tokens)
+    {
+        JobId id;
+        if (!parseId(tokens, id))
+            return;
+        auto series = manager_.convergence(id);
+        if (!series) {
+            std::printf("ERR NotFound job %llu has no convergence "
+                        "series%s\n",
+                        static_cast<unsigned long long>(id),
+                        obs::kEnabled
+                            ? ""
+                            : " (built with GRAPHABCD_OBS=OFF)");
+            return;
+        }
+        const std::string csv = obs::convergenceCsv(*series);
+        if (tokens.size() > 2) {
+            std::ofstream out(tokens[2]);
+            if (!out) {
+                std::printf("ERR ConvFailed cannot write %s\n",
+                            tokens[2].c_str());
+                return;
+            }
+            out << csv;
+            std::printf("OK convergence job %llu points=%zu file=%s\n",
+                        static_cast<unsigned long long>(id),
+                        series->size(), tokens[2].c_str());
+            return;
+        }
+        std::printf("OK convergence job %llu points=%zu\n",
+                    static_cast<unsigned long long>(id),
+                    series->size());
+        std::fwrite(csv.data(), 1, csv.size(), stdout);
+    }
+
+    void
     trace(const std::vector<std::string> &tokens)
     {
         if (tokens.size() < 2) {
@@ -415,6 +477,16 @@ main(int argc, char **argv)
     flags.declareBool("echo", false, "echo commands (for transcripts)");
     flags.declareBool("trace", true,
                       "record trace events for the TRACE verb");
+    flags.declareInt("metrics-port", -1,
+                     "serve /metrics on 127.0.0.1:PORT (0 = ephemeral, "
+                     "-1 = disabled)");
+    flags.declareInt("sample-ms", 0,
+                     "background sampler interval in ms (0 = off)");
+    flags.declare("log-level", "",
+                  "debug|info|warn|error|off (default: "
+                  "GRAPHABCD_LOG_LEVEL or info)");
+    flags.declareBool("log-json", false,
+                      "emit structured logs as JSON lines");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -429,14 +501,42 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(flags.getInt("pool-threads"));
 
     obs::setTracingEnabled(flags.getBool("trace"));
+    if (!flags.get("log-level").empty())
+        obs::Logger::global().setLevel(
+            obs::parseLogLevel(flags.get("log-level").c_str()));
+    if (flags.getBool("log-json"))
+        obs::Logger::global().setJson(true);
+
+    MetricsServer metrics_server;
+    const std::int64_t metrics_port = flags.getInt("metrics-port");
+    if (metrics_port >= 0) {
+        std::string error;
+        if (!metrics_server.start(
+                static_cast<std::uint16_t>(metrics_port), &error)) {
+            GRAPHABCD_LOG_ERROR("serve", "metrics server failed",
+                                LOGF("error", error));
+            std::printf("ERR MetricsPort %s\n", error.c_str());
+            return 1;
+        }
+    }
+    const std::int64_t sample_ms = flags.getInt("sample-ms");
+    if (sample_ms > 0)
+        obs::startSampler(static_cast<double>(sample_ms) / 1000.0);
 
     GraphRegistry registry;
     JobManager manager(registry, cfg);
     ServeShell shell(registry, manager);
     const bool echo = flags.getBool("echo");
 
-    std::printf("OK abcd_serve ready (workers=%u queue=%zu cache=%zu)\n",
-                cfg.workers, cfg.queueCapacity, cfg.cacheCapacity);
+    if (metrics_server.running())
+        std::printf("OK abcd_serve ready (workers=%u queue=%zu "
+                    "cache=%zu metrics=127.0.0.1:%u)\n",
+                    cfg.workers, cfg.queueCapacity, cfg.cacheCapacity,
+                    metrics_server.port());
+    else
+        std::printf("OK abcd_serve ready (workers=%u queue=%zu "
+                    "cache=%zu)\n",
+                    cfg.workers, cfg.queueCapacity, cfg.cacheCapacity);
     std::string line;
     while (std::getline(std::cin, line)) {
         if (echo)
@@ -446,6 +546,9 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
     manager.shutdown();
+    if (sample_ms > 0)
+        obs::stopSampler();
+    metrics_server.stop();
     std::printf("OK bye\n");
     return 0;
 }

@@ -3,10 +3,12 @@
 # src/obs/ builds with -Werror, so any warning there fails the build.
 # Usage:
 #
-#   tools/ci.sh            # default + asan + tsan, in that order
+#   tools/ci.sh            # default + asan + tsan + obsoff, in order
 #   tools/ci.sh default    # release build + full ctest only
 #   tools/ci.sh asan       # AddressSanitizer+UBSan build + ctest only
 #   tools/ci.sh tsan       # ThreadSanitizer build + ctest only
+#   tools/ci.sh obsoff     # GRAPHABCD_OBS=OFF build + ctest only
+#                          # (proves instrumentation compiles out)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ run_preset() {
 if [ "$#" -ge 1 ]; then
     presets=("$@")
 else
-    presets=(default asan tsan)
+    presets=(default asan tsan obsoff)
 fi
 
 for preset in "${presets[@]}"; do
