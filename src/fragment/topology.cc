@@ -1,0 +1,78 @@
+#include "fragment/topology.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace graphabcd {
+
+FragmentTopology::FragmentTopology(const BlockPartition &g,
+                                   std::uint32_t fragments)
+{
+    const BlockId nBlocks = g.numBlocks();
+    const FragmentId want = std::max<std::uint32_t>(1, fragments);
+    const FragmentId n =
+        nBlocks == 0 ? 1 : std::min<FragmentId>(want, nBlocks);
+
+    blockCuts.resize(static_cast<std::size_t>(n) + 1);
+    blockCuts[0] = 0;
+    blockCuts[n] = nBlocks;
+
+    // Edge-balanced greedy cuts: fragment f ends at the first block
+    // whose cumulative edge count reaches f/n of the total.  Because
+    // block edge slices are contiguous and ascending, the cumulative
+    // edge count before block b is exactly g.edgeBegin(b).  Each cut is
+    // clamped so every fragment keeps at least one block.
+    const EdgeId total = g.numEdges();
+    for (FragmentId f = 1; f < n; f++) {
+        const EdgeId target =
+            static_cast<EdgeId>(static_cast<double>(total) *
+                                static_cast<double>(f) /
+                                static_cast<double>(n));
+        BlockId lo = blockCuts[f - 1] + 1;
+        BlockId hi = nBlocks - (n - f);   // leave one block per shard
+        BlockId cut = lo;
+        while (cut < hi && g.edgeBegin(cut) < target)
+            cut++;
+        blockCuts[f] = std::clamp(cut, lo, hi);
+    }
+
+    vertexCuts.resize(static_cast<std::size_t>(n) + 1);
+    edgeCuts.resize(static_cast<std::size_t>(n) + 1);
+    for (FragmentId f = 0; f <= n; f++) {
+        const BlockId b = blockCuts[f];
+        const VertexId v =
+            b == nBlocks ? g.numVertices() : g.blockBegin(b);
+        vertexCuts[f] = v;
+        edgeCuts[f] = b == nBlocks ? g.numEdges() : g.edgeBegin(b);
+    }
+}
+
+FragmentId
+FragmentTopology::fragmentOfBlock(BlockId b) const
+{
+    auto it = std::upper_bound(blockCuts.begin(), blockCuts.end(), b);
+    GRAPHABCD_ASSERT(it != blockCuts.begin() && it != blockCuts.end(),
+                     "block out of topology range");
+    return static_cast<FragmentId>(it - blockCuts.begin() - 1);
+}
+
+FragmentId
+FragmentTopology::fragmentOfVertex(VertexId v) const
+{
+    auto it = std::upper_bound(vertexCuts.begin(), vertexCuts.end(), v);
+    GRAPHABCD_ASSERT(it != vertexCuts.begin() && it != vertexCuts.end(),
+                     "vertex out of topology range");
+    return static_cast<FragmentId>(it - vertexCuts.begin() - 1);
+}
+
+FragmentId
+FragmentTopology::fragmentOfEdge(EdgeId pos) const
+{
+    auto it = std::upper_bound(edgeCuts.begin(), edgeCuts.end(), pos);
+    GRAPHABCD_ASSERT(it != edgeCuts.begin() && it != edgeCuts.end(),
+                     "edge position out of topology range");
+    return static_cast<FragmentId>(it - edgeCuts.begin() - 1);
+}
+
+} // namespace graphabcd

@@ -305,6 +305,7 @@ struct ConvergenceSeries
     void recordFinal(const ConvergencePoint &) const {}
     std::size_t size() const { return 0; }
     ConvergencePoint back() const { return {}; }
+    std::string label() const { return {}; }
 };
 
 /** Always null when observability is compiled out. */
@@ -381,6 +382,12 @@ inline std::vector<double>
 fractionBuckets()
 {
     return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+inline std::vector<double>
+ringDepthBuckets()
+{
+    return {0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096, 16384, 65536};
 }
 
 } // namespace obs

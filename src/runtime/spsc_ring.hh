@@ -62,6 +62,53 @@ class SpscRing
         return item;
     }
 
+    /**
+     * Producer side, batched: push up to `n` items from `src` with one
+     * index update.  Used by the fragment message plane to flush an
+     * outbox in one publish instead of n.
+     * @return items actually pushed (0 when full; may be < n).
+     */
+    std::size_t
+    pushN(const T *src, std::size_t n)
+    {
+        const std::size_t h = head.load(std::memory_order_relaxed);
+        const std::size_t t = tail.load(std::memory_order_acquire);
+        // One slot stays empty, so the writable run is capacity - size.
+        const std::size_t used = h >= t ? h - t : h + mask - t;
+        const std::size_t room = (mask - 1) - used;
+        const std::size_t k = std::min(n, room);
+        std::size_t w = h;
+        for (std::size_t i = 0; i < k; i++) {
+            buffer[w] = src[i];
+            w = inc(w);
+        }
+        if (k > 0)
+            head.store(w, std::memory_order_release);
+        return k;
+    }
+
+    /**
+     * Consumer side, batched: pop up to `n` items into `dst` with one
+     * index update.
+     * @return items actually popped (0 when empty; may be < n).
+     */
+    std::size_t
+    popN(T *dst, std::size_t n)
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        const std::size_t h = head.load(std::memory_order_acquire);
+        const std::size_t avail = h >= t ? h - t : h + mask - t;
+        const std::size_t k = std::min(n, avail);
+        std::size_t r = t;
+        for (std::size_t i = 0; i < k; i++) {
+            dst[i] = std::move(buffer[r]);
+            r = inc(r);
+        }
+        if (k > 0)
+            tail.store(r, std::memory_order_release);
+        return k;
+    }
+
     /** @return number of items currently queued (racy, stats only). */
     std::size_t
     size() const

@@ -8,6 +8,7 @@
 #include "algorithms/sssp.hh"
 #include "core/async_engine.hh"
 #include "core/engine.hh"
+#include "fragment/engine.hh"
 #include "harp/system.hh"
 #include "runtime/executor.hh"
 #include "support/fingerprint.hh"
@@ -49,6 +50,9 @@ runWith(const BlockPartition &g, Program program, const JobRequest &req)
             out.error = "algorithm '" + req.algo +
                         "' is not lock-free atomic; use engine=serial";
         }
+    } else if (req.engine == "fragment") {
+        FragmentEngine<Program> engine(g, program, req.options);
+        out.report = engine.run(out.values);
     } else if (req.engine == "sim") {
         HarpSystem<Program> system(g, program, req.options, HarpConfig{});
         out.report = fromSimReport(system.run(out.values));
@@ -96,7 +100,8 @@ isRunnable(const JobRequest &req, std::string *why)
 {
     static const char *const algos[] = {"pr",  "ppr", "sssp",
                                         "bfs", "cc",  "lp"};
-    static const char *const engines[] = {"serial", "async", "sim"};
+    static const char *const engines[] = {"serial", "async", "fragment",
+                                          "sim"};
     bool algo_ok = false;
     for (const char *a : algos)
         algo_ok = algo_ok || req.algo == a;
@@ -138,6 +143,9 @@ jobFingerprint(std::uint64_t graph_fingerprint, const JobRequest &req)
     fp.mix(opt.maxEpochs);
     fp.mix(opt.seed);
     fp.mix(static_cast<std::uint64_t>(opt.numThreads));
+    // The fragment cut changes the update schedule (hence the exact
+    // floating-point trajectory), so it is part of the result identity.
+    fp.mix(static_cast<std::uint64_t>(opt.fragments));
     return fp.value();
 }
 

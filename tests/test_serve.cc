@@ -16,6 +16,7 @@
 #include "core/stop_token.hh"
 #include "graph/generators.hh"
 #include "runtime/admission_queue.hh"
+#include "algorithms/reference.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job_manager.hh"
 #include "serve/result_cache.hh"
@@ -148,17 +149,21 @@ TEST(Fingerprint, DifferentEngineOptionsDoNotAlias)
     sched.options.schedule = Schedule::Priority;
     JobRequest eng = base;
     eng.engine = "async";
+    JobRequest frag = base;
+    frag.options.fragments = 4;
 
     const std::uint64_t gfp = 0x1234;
     const std::uint64_t k0 = jobFingerprint(gfp, base);
     EXPECT_NE(k0, jobFingerprint(gfp, tol));
     EXPECT_NE(k0, jobFingerprint(gfp, sched));
     EXPECT_NE(k0, jobFingerprint(gfp, eng));
+    EXPECT_NE(k0, jobFingerprint(gfp, frag));
     // ...but they all share one fixpoint family.
     const std::uint64_t f0 = jobFamilyFingerprint(gfp, base);
     EXPECT_EQ(f0, jobFamilyFingerprint(gfp, tol));
     EXPECT_EQ(f0, jobFamilyFingerprint(gfp, sched));
     EXPECT_EQ(f0, jobFamilyFingerprint(gfp, eng));
+    EXPECT_EQ(f0, jobFamilyFingerprint(gfp, frag));
 }
 
 TEST(Fingerprint, AlgoSourceAndGraphSplitFamilies)
@@ -405,6 +410,29 @@ TEST_F(ServeTest, ConcurrentJobsMatchDirectEngineRuns)
     EXPECT_EQ(stats.submitted, reqs.size());
     EXPECT_EQ(stats.completed, reqs.size());
     EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServeTest, FragmentEngineJobsRunThroughTheServeLayer)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 4;
+    JobManager manager(registry, cfg);
+
+    JobRequest req = request("web", "pr", "fragment");
+    req.options.fragments = 3;
+    req.options.tolerance = 1e-12;
+    JobManager::Submitted sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok()) << to_string(sub.error);
+    ASSERT_TRUE(manager.wait(sub.id, 60.0));
+
+    auto result = manager.result(sub.id);
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->report.converged);
+    std::vector<double> ref = pagerankReference(web, 0.85);
+    ASSERT_EQ(result->values.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); v++)
+        EXPECT_NEAR(result->values[v], ref[v], 1e-6) << "vertex " << v;
 }
 
 TEST_F(ServeTest, RepeatedJobIsServedFromTheResultCache)

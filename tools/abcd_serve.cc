@@ -7,9 +7,10 @@
  *
  *   LOAD <name> <dataset-key-or-file> [scale=F] [block-size=N]
  *        [undirected=0|1] [seed=N]
- *   RUN <graph> <algo> [engine=serial|async|sim] [source=N]
+ *   RUN <graph> <algo> [engine=serial|async|fragment|sim] [source=N]
  *       [priority=F] [timeout=F] [tolerance=F] [schedule=S]
- *       [threads=N] [max-epochs=F] [cached=0|1] [warm=0|1]
+ *       [threads=N] [fragments=N] [max-epochs=F] [cached=0|1]
+ *       [warm=0|1]
  *   STATUS <job-id>
  *   WAIT <job-id> [timeout-seconds]
  *   CANCEL <job-id>
@@ -107,8 +108,10 @@ param(const std::map<std::string, std::string> &params,
 class ServeShell
 {
   public:
-    ServeShell(GraphRegistry &registry, JobManager &manager)
-        : registry_(registry), manager_(manager)
+    ServeShell(GraphRegistry &registry, JobManager &manager,
+               std::uint32_t default_fragments = 1)
+        : registry_(registry), manager_(manager),
+          defaultFragments_(default_fragments)
     {
     }
 
@@ -230,6 +233,9 @@ class ServeShell
         req.options.maxEpochs = param(params, "max-epochs", 10000.0);
         req.options.numThreads =
             static_cast<std::uint32_t>(param(params, "threads", 4.0));
+        req.options.fragments = static_cast<std::uint32_t>(
+            param(params, "fragments",
+                  static_cast<double>(defaultFragments_)));
         const std::string sched =
             param(params, "schedule", std::string("cyclic"));
         req.options.schedule = sched == "priority" ? Schedule::Priority
@@ -459,6 +465,7 @@ class ServeShell
 
     GraphRegistry &registry_;
     JobManager &manager_;
+    const std::uint32_t defaultFragments_;
 };
 
 } // namespace
@@ -471,6 +478,9 @@ main(int argc, char **argv)
     flags.declareInt("pool-threads", 0,
                      "engine worker pool size (0 = the process-wide "
                      "pool sized to the hardware)");
+    flags.declareInt("fragments", 1,
+                     "default shard count for engine=fragment runs "
+                     "(RUN fragments=N overrides per job)");
     flags.declareInt("queue", 16, "admission queue capacity");
     flags.declareInt("cache", 64, "result cache entries");
     flags.declareDouble("ttl", 300.0, "result cache TTL seconds");
@@ -525,7 +535,10 @@ main(int argc, char **argv)
 
     GraphRegistry registry;
     JobManager manager(registry, cfg);
-    ServeShell shell(registry, manager);
+    ServeShell shell(registry, manager,
+                     static_cast<std::uint32_t>(
+                         std::max<std::int64_t>(1,
+                                                flags.getInt("fragments"))));
     const bool echo = flags.getBool("echo");
 
     if (metrics_server.running())

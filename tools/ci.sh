@@ -25,6 +25,19 @@ run_preset() {
     echo "== test (${preset}) =="
     ctest --preset "${preset}"
 
+    # The fragment engine is the most concurrency-dense code in the
+    # repo (per-fragment runners, SPSC delta rings, the four-counter
+    # termination detector, cooperative cancel).  The default stress
+    # iteration count keeps plain ctest fast; under TSan, rerun the
+    # cancel-storm stress heavier so the race detector sees many
+    # claim/flush/drain interleavings per CI run.
+    if [ "${preset}" = "tsan" ]; then
+        echo "== fragment stress (${preset}) =="
+        GRAPHABCD_FRAGMENT_STRESS_ITERS=24 \
+            "./build-tsan/tests/abcd_tests" \
+            --gtest_filter='FragmentStress.*'
+    fi
+
     echo "== ${preset}: OK =="
 }
 
