@@ -15,11 +15,20 @@
  *     argument, evaluated from the real partition);
  *  4. state-based vs operation-based updates (Sec. IV-A3): epochs to
  *     converge under serial execution — the async-correctness argument
- *     is demonstrated in tests/test_delta_lp.cc.
+ *     is demonstrated in tests/test_delta_lp.cc;
+ *  6. vertex updates to tolerance — exact sweep vs naive delta vs the
+ *     accumulative engine (Maiter-style), the work-efficiency argument
+ *     for delta propagation + Gauss-Southwell ordering.  Rows are also
+ *     dumped to --json (default BENCH_accum.json) so the trajectory is
+ *     reviewable per PR.
  */
 
 #include "bench_common.hh"
 
+#include <fstream>
+
+#include "algorithms/sssp.hh"
+#include "core/accum_engine.hh"
 #include "core/delta_state.hh"
 #include "core/engine.hh"
 
@@ -28,12 +37,48 @@ namespace {
 
 using namespace bench;
 
+/** One row of ablation 6, flattened for the JSON dump. */
+struct UpdatesRow
+{
+    std::string algo;      //!< "pr" or "sssp"
+    std::string variant;   //!< "exact-sweep", "naive-delta", "accum"
+    std::uint64_t updates = 0;
+    double epochs = 0.0;
+    double seconds = 0.0;
+    bool converged = false;
+};
+
+void
+writeJson(const std::vector<UpdatesRow> &rows, const std::string &path,
+          const std::string &graph, double scale, double tol)
+{
+    std::ofstream ofs(path);
+    ofs << "{\n  \"benchmark\": \"accum_updates_to_tolerance\",\n"
+        << "  \"graph\": \"" << graph << "\",\n"
+        << "  \"scale\": " << scale << ",\n"
+        << "  \"tolerance\": " << tol << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const UpdatesRow &r = rows[i];
+        ofs << "    {\"algo\": \"" << r.algo << "\", \"variant\": \""
+            << r.variant << "\", \"vertex_updates\": " << r.updates
+            << ", \"epochs\": " << r.epochs
+            << ", \"seconds\": " << r.seconds
+            << ", \"converged\": " << (r.converged ? 1 : 0) << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    ofs << "  ]\n}\n";
+    std::fprintf(stderr, "info: wrote %s (%zu rows)\n", path.c_str(),
+                 rows.size());
+}
+
 int
 benchMain(int argc, char **argv)
 {
     Flags flags;
     declareCommonFlags(flags);
     flags.declare("graph", "PS", "dataset key");
+    flags.declare("json", "BENCH_accum.json",
+                  "machine-readable dump of ablation 6");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -175,10 +220,176 @@ benchMain(int argc, char **argv)
         t.print(std::cout);
     }
 
+    // ---------------- 6. vertex updates to tolerance (work efficiency)
+    {
+        const double tol = 1e-9;
+        BlockPartition g(ds.graph, 512);
+        const double n = std::max<double>(g.numVertices(), 1.0);
+        std::vector<UpdatesRow> rows;
+
+        auto addRow = [&rows](const char *algo, const char *variant,
+                              std::uint64_t updates, double epochs,
+                              double seconds, bool converged) {
+            rows.push_back(UpdatesRow{algo, variant, updates, epochs,
+                                      seconds, converged});
+        };
+
+        {   // Exact sweep: synchronous Jacobi rounds (the canonical
+            // power iteration — what pagerankReference runs), every
+            // vertex recomputed by a full GATHER each round.  This is
+            // the baseline Maiter's updates-to-tolerance comparison is
+            // defined against.
+            EngineOptions opt;
+            opt.blockSize = 512;
+            opt.tolerance = tol;
+            opt.mode = ExecMode::Bsp;
+            Timer timer;
+            SerialEngine<PageRankProgram> engine(
+                g, PageRankProgram(0.85), opt);
+            std::vector<double> x;
+            EngineReport r = engine.run(x);
+            addRow("pr", "exact-sweep", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+        {   // The repo's own strongest exact engine: Gauss-Seidel block
+            // sweeps with the quiescence-driven active list.  Kept as a
+            // second comparator so the accum row is judged against both
+            // the canonical and the optimized sweep.
+            EngineOptions opt;
+            opt.blockSize = 512;
+            opt.tolerance = tol;
+            Timer timer;
+            SerialEngine<PageRankProgram> engine(
+                g, PageRankProgram(0.85), opt);
+            std::vector<double> x;
+            EngineReport r = engine.run(x);
+            addRow("pr", "serial-gs", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+        {   // Head of the sweep (tol 1e-5): subtracting a -head row
+            // from its full-tolerance row isolates the convergence
+            // tail, where Maiter predicts the accumulative win.
+            EngineOptions opt;
+            opt.blockSize = 512;
+            opt.tolerance = 1e-5;
+            opt.mode = ExecMode::Bsp;
+            Timer timer;
+            SerialEngine<PageRankProgram> engine(
+                g, PageRankProgram(0.85), opt);
+            std::vector<double> x;
+            EngineReport r = engine.run(x);
+            addRow("pr", "exact-sweep-head", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+        {   // Naive operation-based delta (correct serially only).
+            std::vector<double> y;
+            Timer timer;
+            double epochs = runDeltaSerial(
+                g, PageRankDeltaProgram(0.85), y, tol, 2000.0);
+            addRow("pr", "naive-delta",
+                   static_cast<std::uint64_t>(epochs * n), epochs,
+                   timer.seconds(), epochs < 2000.0);
+        }
+        // Accumulative engine rows.  Each variant runs at its own
+        // natural operating point (the sweeps above are block-size
+        // independent, so this is apples-to-apples on the metric):
+        //  - accum: Priority at one vertex per block IS the exact
+        //    Gauss-Southwell rule — argmax |pending| — plus the 25%
+        //    refresh-throttle hysteresis, which lets small pendings
+        //    coalesce in the accumulator instead of being applied
+        //    eagerly.  The headline row the acceptance bar reads.
+        //  - accum-obim: concurrent-push OBIM at chunkier blocks; the
+        //    level quantization costs ordering precision, bigger
+        //    blocks win some of it back by amortizing the pops.
+        //  - accum-cyclic: ordering-free control — what conservation
+        //    alone buys before any Gauss-Southwell bias.
+        const auto runAccumPr = [&](const char *name, Schedule sch,
+                                    VertexId bs, double atol) {
+            BlockPartition ga(ds.graph, bs);
+            EngineOptions opt;
+            opt.blockSize = bs;
+            opt.tolerance = atol;
+            opt.numThreads = 1;
+            opt.schedule = sch;
+            Timer timer;
+            AccumEngine<PageRankAccumProgram> engine(
+                ga, PageRankAccumProgram(0.85), opt);
+            std::vector<double> x;
+            EngineReport r = engine.run(x);
+            addRow("pr", name, r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        };
+        runAccumPr("accum", Schedule::Priority, 1, tol);
+        runAccumPr("accum-head", Schedule::Priority, 1, 1e-5);
+        runAccumPr("accum-obim", Schedule::Obim, 32, tol);
+        runAccumPr("accum-cyclic", Schedule::Cyclic, 8, tol);
+        const VertexId src = hubVertex(g);
+        {   // SSSP: exact sweep (synchronous Bellman-Ford rounds) vs
+            // accumulative (the naive delta machinery is
+            // PageRank-specific).
+            EngineOptions opt;
+            opt.blockSize = 512;
+            opt.tolerance = tol;
+            opt.mode = ExecMode::Bsp;
+            Timer timer;
+            SerialEngine<SsspProgram> engine(g, SsspProgram(src), opt);
+            std::vector<double> d;
+            EngineReport r = engine.run(d);
+            addRow("sssp", "exact-sweep", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+        {
+            EngineOptions opt;
+            opt.blockSize = 512;
+            opt.tolerance = tol;
+            Timer timer;
+            SerialEngine<SsspProgram> engine(g, SsspProgram(src), opt);
+            std::vector<double> d;
+            EngineReport r = engine.run(d);
+            addRow("sssp", "serial-gs", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+        {
+            BlockPartition gfine(ds.graph, 8);
+            EngineOptions opt;
+            opt.blockSize = 8;
+            opt.tolerance = tol;
+            opt.numThreads = 1;
+            opt.schedule = Schedule::Obim;
+            Timer timer;
+            AccumEngine<SsspAccumProgram> engine(
+                gfine, SsspAccumProgram(src), opt);
+            std::vector<double> d;
+            EngineReport r = engine.run(d);
+            addRow("sssp", "accum", r.vertexUpdates, r.epochs,
+                   timer.seconds(), r.converged);
+        }
+
+        Table t({"algo", "variant", "vertex updates", "epochs",
+                 "wall (s)", "converged"});
+        for (const UpdatesRow &r : rows) {
+            t.row()
+                .add(r.algo)
+                .add(r.variant)
+                .add(r.updates)
+                .add(r.epochs, 4)
+                .add(r.seconds, 4)
+                .add(r.converged ? "yes" : "no");
+        }
+        std::cout << "\n-- ablation 6: vertex updates to tolerance "
+                  << "(tol 1e-9, " << ds.info.key << ")\n";
+        t.print(std::cout);
+
+        writeJson(rows, flags.get("json"), ds.info.key,
+                  flags.getDouble("scale"), tol);
+    }
+
     std::fprintf(stderr,
                  "info: shapes: U-curve over block size; epochs grow "
                  "with queue depth while time falls then flattens; "
-                 "edge-balanced blocks cut the straggler tail.\n");
+                 "edge-balanced blocks cut the straggler tail; the "
+                 "accumulative engine reaches tolerance in a fraction "
+                 "of the exact sweep's vertex updates.\n");
     return 0;
 }
 

@@ -1,0 +1,789 @@
+/**
+ * @file
+ * Accumulative (delta) BCD engine — Maiter-style delta propagation made
+ * safe under barrierless execution (ROADMAP item 1).
+ *
+ * The paper rejects operation-based updates because the per-edge
+ * pending arrays of PageRank-Delta put a read-modify-write window
+ * between GATHER's consume and SCATTER's accumulate (Sec. IV-A3; the
+ * anomaly is reproduced by src/core/delta_state.hh).  Maiter's insight
+ * is that the window is an artifact of the *layout*, not of delta
+ * propagation itself: give every vertex ONE atomic pending accumulator,
+ * make SCATTER a single atomic accumulate (fetch-add for PageRank, CAS
+ * min for path problems) and GATHER a single exchange-to-zero, and
+ * every delta is either in the accumulator or in exactly one
+ * extractor's hands — nothing can be overwritten or double-counted, no
+ * locks, no barriers.  Commutative + associative accumulation is the
+ * whole correctness argument.
+ *
+ * Conservation: a delta whose application would move the value by less
+ * than the tolerance is not dropped (the bug this engine exists to
+ * kill) but folded back into the vertex's accumulator, so value mass is
+ * conserved *by construction*: for PageRank,
+ * sum(values) + sum(pending)/(1-alpha) == 1 holds at every instant and
+ * the fixpoint drops rank mass only through the per-vertex tolerance,
+ * never through lost residuals.
+ *
+ * Scheduling: deltas make the Gauss-Southwell rule natural — a block's
+ * priority tracks the estimated value moves of the deltas accumulated
+ * into it since its last processing, maintained by the scatter hook.
+ * The hook applies Maiter's activation filter: a destination is woken
+ * only when its whole accumulated pending would move its value by more
+ * than the tolerance, so sub-tolerance traffic parks in the
+ * accumulator (conserved) instead of churning the worklist.  With
+ * Schedule::Obim the
+ * engine pushes activations concurrently from inside SCATTER (the
+ * scheduler's concurrentPush() contract); with the serialized
+ * schedulers it batches activations per block under the control lock,
+ * exactly like AsyncEngine.
+ *
+ * Threading mirrors AsyncEngine: no threads are spawned; the engine
+ * opens an Executor::Job with participation numThreads and the calling
+ * thread pumps blocks alongside pool workers.  StopToken and the
+ * maxEpochs budget halt the run without ever claiming convergence
+ * while work remains.
+ */
+
+#ifndef GRAPHABCD_CORE_ACCUM_ENGINE_HH
+#define GRAPHABCD_CORE_ACCUM_ENGINE_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/options.hh"
+#include "core/scheduler.hh"
+#include "graph/partition.hh"
+#include "obs/obs.hh"
+#include "runtime/executor.hh"
+#include "support/timer.hh"
+
+namespace graphabcd {
+
+/**
+ * Contract of an accumulative vertex program.  combineDelta must be
+ * commutative and associative (sum, min, ...) — that is what makes
+ * concurrent scatter safe — and apply/propagate must be monotone in
+ * the Maiter sense: applying deltas in any order reaches the same
+ * fixpoint.
+ */
+template <typename P>
+concept AccumulativeProgram =
+    requires(const P p, typename P::Value v, VertexId vid, EdgeId e,
+             const BlockPartition &g) {
+        typename P::Value;
+        /** Initial vertex value (before any delta lands). */
+        { p.init(vid, g) } -> std::convertible_to<typename P::Value>;
+        /** Initial accumulator content (the seed work). */
+        { p.initialDelta(vid, g) }
+            -> std::convertible_to<typename P::Value>;
+        /** Neutral element of combineDelta; an accumulator holding it
+         *  has no work. */
+        { p.identityDelta() }
+            -> std::convertible_to<typename P::Value>;
+        /** Merge two deltas (commutative + associative). */
+        { p.combineDelta(v, v) }
+            -> std::convertible_to<typename P::Value>;
+        /** New vertex value after absorbing a delta. */
+        { p.apply(v, v) } -> std::convertible_to<typename P::Value>;
+        /** Delta shipped along out-edge at CSC position e when the
+         *  vertex moved to `next` by absorbing `applied`. */
+        { p.propagate(vid, v, v, e, g) }
+            -> std::convertible_to<typename P::Value>;
+        /** Part of an extracted delta still worth keeping when its
+         *  application moved the value by <= tolerance (identityDelta
+         *  to keep nothing). */
+        { p.foldResidual(v, v) }
+            -> std::convertible_to<typename P::Value>;
+        /** Scalar size of a value move (activation priority). */
+        { p.magnitude(v, v) } -> std::convertible_to<double>;
+    };
+
+/**
+ * Accumulative PageRank (Maiter Sec. 2's canonical example): values
+ * start at 0, accumulators at (1-alpha)/N, and a vertex that absorbs
+ * delta d ships alpha*d/outdeg to each out-neighbour.  The fixpoint is
+ * exactly PageRank's: x = (1-alpha)/N + alpha * sum(x_u / deg_u).
+ * Every delta is non-negative, so accumulation is monotone and
+ * sum(values) + sum(pending)/(1-alpha) == 1 is invariant (on graphs
+ * without dangling vertices; a dangling vertex drains its alpha-share,
+ * matching the non-accumulative engines' semantics).
+ */
+struct PageRankAccumProgram
+{
+    using Value = double;
+
+    double alpha = 0.85;
+
+    explicit PageRankAccumProgram(double damping = 0.85)
+        : alpha(damping)
+    {
+    }
+
+    Value init(VertexId, const BlockPartition &) const { return 0.0; }
+
+    Value
+    initialDelta(VertexId, const BlockPartition &g) const
+    {
+        return (1.0 - alpha) / std::max<double>(g.numVertices(), 1.0);
+    }
+
+    Value identityDelta() const { return 0.0; }
+    Value combineDelta(Value a, Value b) const { return a + b; }
+    Value apply(Value old, Value d) const { return old + d; }
+
+    Value
+    propagate(VertexId v, Value, Value applied, EdgeId,
+              const BlockPartition &g) const
+    {
+        const std::uint32_t deg = g.outDegree(v);
+        return deg ? alpha * applied / deg : 0.0;
+    }
+
+    /** Keep the whole residual: this is the mass-conservation fix. */
+    Value foldResidual(Value d, Value) const { return d; }
+
+    double magnitude(Value old, Value next) const
+    {
+        return std::abs(next - old);
+    }
+};
+
+/**
+ * Accumulative SSSP: min-accumulation of tentative distances.
+ * Absorbing a shorter distance ships next+w along each out-edge — the
+ * asynchronous label-correcting form (Maiter Sec. 2.2).
+ */
+struct SsspAccumProgram
+{
+    using Value = double;
+
+    VertexId source = 0;
+    static constexpr Value unreachable = 1e18;
+
+    explicit SsspAccumProgram(VertexId src = 0) : source(src) {}
+
+    Value init(VertexId, const BlockPartition &) const
+    {
+        return unreachable;
+    }
+
+    Value
+    initialDelta(VertexId v, const BlockPartition &) const
+    {
+        return v == source ? 0.0 : unreachable;
+    }
+
+    Value identityDelta() const { return unreachable; }
+    Value combineDelta(Value a, Value b) const { return std::min(a, b); }
+    Value apply(Value old, Value d) const { return std::min(old, d); }
+
+    Value
+    propagate(VertexId, Value next, Value, EdgeId e,
+              const BlockPartition &g) const
+    {
+        return next + g.edgeWeight(e);
+    }
+
+    /** A candidate that no longer improves the value is dead. */
+    Value
+    foldResidual(Value d, Value old) const
+    {
+        return d < old ? d : unreachable;
+    }
+
+    double magnitude(Value old, Value next) const
+    {
+        return std::abs(old - next);
+    }
+};
+
+/** Accumulative BFS: SSSP with unit hop cost. */
+struct BfsAccumProgram : SsspAccumProgram
+{
+    explicit BfsAccumProgram(VertexId src = 0) : SsspAccumProgram(src) {}
+
+    Value
+    propagate(VertexId, Value next, Value, EdgeId,
+              const BlockPartition &) const
+    {
+        return next + 1.0;
+    }
+};
+
+/**
+ * Accumulative connected components: min-label accumulation.  Every
+ * vertex seeds its own id as a candidate label; absorbing a smaller
+ * label re-ships it unchanged.  On a symmetrized graph the fixpoint
+ * labels every vertex with its component's minimum id (ccReference).
+ */
+struct CcAccumProgram
+{
+    using Value = double;
+
+    static constexpr Value unlabeled = 1e18;
+
+    Value init(VertexId, const BlockPartition &) const
+    {
+        return unlabeled;
+    }
+
+    Value
+    initialDelta(VertexId v, const BlockPartition &) const
+    {
+        return static_cast<Value>(v);
+    }
+
+    Value identityDelta() const { return unlabeled; }
+    Value combineDelta(Value a, Value b) const { return std::min(a, b); }
+    Value apply(Value old, Value d) const { return std::min(old, d); }
+
+    Value
+    propagate(VertexId, Value next, Value, EdgeId,
+              const BlockPartition &) const
+    {
+        return next;
+    }
+
+    Value
+    foldResidual(Value d, Value old) const
+    {
+        return d < old ? d : unlabeled;
+    }
+
+    double magnitude(Value old, Value next) const
+    {
+        return std::abs(old - next);
+    }
+};
+
+/** What processVertex did with a vertex's accumulator. */
+enum class AccumOutcome
+{
+    Idle,     //!< accumulator held the identity: no work
+    Folded,   //!< sub-tolerance move: residual folded back, no scatter
+    Applied,  //!< value moved; deltas scattered downstream
+};
+
+/**
+ * The accumulative data plane: one atomic value + one atomic pending
+ * accumulator per vertex.  Exposed separately from the engine so tests
+ * can drive adversarial interleavings directly (the analogue of
+ * DeltaState's split gather/commit API) and audit conservation.
+ */
+template <AccumulativeProgram Program>
+class AccumState
+{
+  public:
+    using Value = typename Program::Value;
+
+    static_assert(std::atomic<Value>::is_always_lock_free,
+                  "AccumState needs a lock-free atomic Value");
+
+    AccumState(const BlockPartition &g, const Program &p) : graph(g)
+    {
+        const VertexId n = g.numVertices();
+        values_ = std::vector<std::atomic<Value>>(n);
+        pending_ = std::vector<std::atomic<Value>>(n);
+        for (VertexId v = 0; v < n; v++) {
+            values_[v].store(p.init(v, g), std::memory_order_relaxed);
+            pending_[v].store(p.initialDelta(v, g),
+                              std::memory_order_relaxed);
+        }
+    }
+
+    Value
+    value(VertexId v) const
+    {
+        return values_[v].load(std::memory_order_relaxed);
+    }
+
+    Value
+    pendingAt(VertexId v) const
+    {
+        return pending_[v].load(std::memory_order_relaxed);
+    }
+
+    std::vector<Value>
+    valuesSnapshot() const
+    {
+        std::vector<Value> out(values_.size());
+        for (std::size_t v = 0; v < values_.size(); v++)
+            out[v] = values_[v].load(std::memory_order_relaxed);
+        return out;
+    }
+
+    std::vector<Value>
+    pendingSnapshot() const
+    {
+        std::vector<Value> out(pending_.size());
+        for (std::size_t v = 0; v < pending_.size(); v++)
+            out[v] = pending_[v].load(std::memory_order_relaxed);
+        return out;
+    }
+
+    /** SCATTER primitive: merge a delta into v's accumulator. */
+    void
+    accumulate(const Program &p, VertexId v, Value d)
+    {
+        atomicCombine(p, pending_[v], d);
+    }
+
+    /** Result of one processVertex call. */
+    struct Result
+    {
+        AccumOutcome outcome = AccumOutcome::Idle;
+        double magnitude = 0.0;       //!< value move (Applied) or the
+                                      //!< sub-tolerance move (Folded)
+        std::uint32_t scatters = 0;   //!< out-edge accumulates done
+    };
+
+    /**
+     * Extract-apply-scatter one vertex.
+     *
+     * The extraction (exchange to identity) and the scatter
+     * (atomicCombine per out-edge) are each single atomic RMWs, so any
+     * interleaving with concurrent processors — including of the same
+     * vertex — loses nothing: a delta is in exactly one accumulator or
+     * one extractor's hands at all times.  The value update is a CAS
+     * loop for the same reason.  A move <= tol folds the still-useful
+     * part of the delta back into the accumulator (conservation)
+     * without activating downstream blocks (quiescence).
+     *
+     * @param on_activate (dst_vertex, est_move) called after an
+     *        out-edge accumulate when dst's whole accumulated pending
+     *        would move dst's value by more than tol (the Maiter
+     *        activation filter); the engine maps dst to its block and
+     *        activates.  Sub-tolerance accumulations stay parked in
+     *        dst's accumulator — for additive programs the last
+     *        combiner of a super-tolerance total always observes it,
+     *        and for monotone min-programs a skipped wake can never
+     *        become necessary later (the estimated move only
+     *        shrinks), so no wakeup is lost.
+     */
+    template <typename OnActivate>
+    Result
+    processVertex(const Program &p, VertexId v, double tol,
+                  OnActivate &&on_activate)
+    {
+        Result r;
+        const Value identity = p.identityDelta();
+        const Value d =
+            pending_[v].exchange(identity, std::memory_order_acq_rel);
+        if (d == identity)
+            return r;
+        Value cur = values_[v].load(std::memory_order_relaxed);
+        for (;;) {
+            const Value next = p.apply(cur, d);
+            const double mag = p.magnitude(cur, next);
+            if (!(mag > tol)) {
+                const Value residual = p.foldResidual(d, cur);
+                if (!(residual == identity))
+                    atomicCombine(p, pending_[v], residual);
+                r.outcome = AccumOutcome::Folded;
+                r.magnitude = mag;
+                return r;
+            }
+            if (values_[v].compare_exchange_weak(
+                    cur, next, std::memory_order_acq_rel,
+                    std::memory_order_relaxed)) {
+                r.outcome = AccumOutcome::Applied;
+                r.magnitude = mag;
+                for (EdgeId pos : graph.scatterPositions(v)) {
+                    const Value contrib =
+                        p.propagate(v, next, d, pos, graph);
+                    if (contrib == identity)
+                        continue;
+                    const VertexId dst = graph.edgeDst(pos);
+                    const Value after =
+                        atomicCombine(p, pending_[dst], contrib);
+                    r.scatters++;
+                    const Value dval =
+                        values_[dst].load(std::memory_order_relaxed);
+                    const double est =
+                        p.magnitude(dval, p.apply(dval, after));
+                    if (est > tol) {
+                        // Schedulers ACCUMULATE activation priorities
+                        // (Gauss-Southwell L1), so pass this
+                        // contribution's own move — the running sum
+                        // then tracks dst's total pending.  Passing
+                        // `est` (already a total) would double-count
+                        // earlier contributions and over-prioritize
+                        // hot vertices into premature, fragmenting
+                        // applies.
+                        on_activate(
+                            dst,
+                            p.magnitude(dval, p.apply(dval, contrib)));
+                    }
+                }
+                return r;
+            }
+            // CAS lost to a concurrent applier of this vertex: re-apply
+            // d against the fresh value (monotonicity makes any order
+            // reach the same fixpoint).
+        }
+    }
+
+  private:
+    /** @return the post-combine accumulator value. */
+    static Value
+    atomicCombine(const Program &p, std::atomic<Value> &slot, Value d)
+    {
+        Value cur = slot.load(std::memory_order_relaxed);
+        for (;;) {
+            const Value next = p.combineDelta(cur, d);
+            if (next == cur)
+                return cur;   // absorbing element (e.g. a worse min)
+            if (slot.compare_exchange_weak(cur, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+                return next;
+        }
+    }
+
+    const BlockPartition &graph;
+    std::vector<std::atomic<Value>> values_;
+    std::vector<std::atomic<Value>> pending_;
+};
+
+/**
+ * Threaded accumulative engine.  Run-loop structure follows
+ * AsyncEngine (one control mutex taken once per block, caller-thread
+ * pump, quantum requeue, budget/StopToken halts that never claim
+ * convergence), minus the dispatch FIFO: deltas are commutative, so
+ * staleness bounding is unnecessary and blocks are claimed straight
+ * from the scheduler.
+ *
+ * vertexUpdates counts vertices whose value actually moved (Applied) —
+ * that is the "vertex updates to tolerance" the Maiter comparison is
+ * about.  Folded claims (sub-tolerance residual returned to the
+ * accumulator) are deferrals, not updates; they are tallied in the
+ * engine.accum.foldbacks counter instead.  warmStart is ignored:
+ * resuming needs a consistent (values, pending) pair, which cached
+ * final values alone cannot provide.
+ */
+template <AccumulativeProgram Program>
+class AccumEngine
+{
+  public:
+    using Value = typename Program::Value;
+
+    AccumEngine(const BlockPartition &g, Program p, EngineOptions opt)
+        : graph(g), program(std::move(p)), options(opt)
+    {
+    }
+
+    /**
+     * Run to quiescence (or maxEpochs / stop).
+     * @param out_values receives the final vertex values.
+     */
+    EngineReport
+    run(std::vector<Value> &out_values)
+    {
+        Timer timer;
+        state_ = std::make_unique<AccumState<Program>>(graph, program);
+        EngineReport report = runParallel(timer);
+        out_values = state_->valuesSnapshot();
+        report.seconds = timer.seconds();
+        return report;
+    }
+
+    /** Post-run accumulator snapshot (conservation audits). */
+    std::vector<Value>
+    pendingSnapshot() const
+    {
+        return state_ ? state_->pendingSnapshot()
+                      : std::vector<Value>{};
+    }
+
+  private:
+    std::shared_ptr<Executor>
+    pool() const
+    {
+        return options.executor ? options.executor : Executor::shared();
+    }
+
+    /** Per-block tallies a pump reports into the shared counters. */
+    struct BlockTally
+    {
+        std::uint64_t processed = 0;   //!< Applied vertices
+        std::uint64_t folded = 0;
+        std::uint64_t edges = 0;
+        std::uint64_t scatters = 0;
+        double l1 = 0.0;               //!< sum of applied magnitudes
+    };
+
+    EngineReport
+    runParallel(const Timer &timer)
+    {
+        EngineReport report;
+        const double n = std::max<double>(graph.numVertices(), 1.0);
+        const std::uint32_t participation =
+            std::max(1u, options.numThreads);
+        auto sched = makeScheduler(options.schedule, graph.numBlocks(),
+                                   options.seed, participation);
+        for (BlockId b = 0; b < graph.numBlocks(); b++)
+            sched->activate(b, initialActivationPriority());
+        // Concurrent-push schedulers (OBIM) take activations straight
+        // from the scatter hook; serialized ones get them batched under
+        // the control lock.
+        const bool direct_push = sched->concurrentPush();
+        const std::uint64_t max_updates =
+            updateBudget(options.maxEpochs, n);
+        constexpr std::uint32_t kQuantum = 32;
+
+        struct Ctl
+        {
+            std::mutex m;
+            std::uint32_t inflight = 0;   //!< claimed, not committed
+            std::uint32_t pumps = 0;      //!< live participants
+            bool halted = false;          //!< stop token or budget
+            double winL1 = 0.0;
+            std::uint64_t winActive = 0;
+            double nextSample = 0.0;
+        } ctl;
+        std::atomic<std::uint64_t> vertex_updates{0};
+        std::atomic<std::uint64_t> block_updates{0};
+        std::atomic<std::uint64_t> edge_traversals{0};
+        std::atomic<std::uint64_t> scatter_writes{0};
+        std::atomic<std::uint64_t> foldbacks{0};
+
+        // Resolve metrics once per run; record per block.
+        obs::Histogram &gasHist = obs::histogram(
+            "engine.accum.block_gas_us", obs::latencyBucketsUs());
+        obs::Histogram &fanoutHist = obs::histogram(
+            "engine.accum.scatter_fanout", obs::fanoutBuckets());
+        obs::Histogram &residualHist = obs::histogram(
+            "engine.accum.residual_mag", obs::magnitudeBuckets());
+
+        const double sampleInterval =
+            options.traceInterval > 0.0 ? options.traceInterval : 1.0;
+        ctl.nextSample = sampleInterval;
+
+        std::shared_ptr<Executor> exec = pool();
+        std::shared_ptr<Executor::Job> job =
+            exec->createJob(participation);
+
+        // ---- ctl.m must be held by callers of the *Locked helpers ----
+
+        auto claimLocked = [&]() -> std::optional<BlockId> {
+            if (!ctl.halted && options.stop.stopRequested())
+                ctl.halted = true;
+            if (!ctl.halted &&
+                vertex_updates.load(std::memory_order_relaxed) >=
+                    max_updates)
+                ctl.halted = true;
+            if (ctl.halted)
+                return std::nullopt;
+            std::optional<BlockId> b = sched->next();
+            if (b)
+                ctl.inflight++;
+            return b;
+        };
+
+        std::function<void()> pumpTask;   // assigned below
+
+        auto spawnLocked = [&] {
+            std::size_t want = std::min<std::size_t>(
+                participation > ctl.pumps ? participation - ctl.pumps
+                                          : 0,
+                sched->activeCount());
+            for (; want > 0; want--) {
+                ctl.pumps++;
+                job->submit(pumpTask);
+            }
+        };
+
+        // Process one block: extract-apply-scatter each vertex.  With
+        // direct_push the scatter hook activates the scheduler inline;
+        // otherwise activations buffer until the locked commit.
+        auto processBlock =
+            [&](BlockId b,
+                std::vector<std::pair<BlockId, double>> &activations)
+            -> BlockTally {
+            BlockTally t;
+            activations.clear();
+            auto on_activate = [&](VertexId dst, double mag) {
+                const BlockId db = graph.blockOf(dst);
+                if (direct_push)
+                    sched->activate(db, mag);
+                else
+                    activations.emplace_back(db, mag);
+            };
+            for (VertexId v = graph.blockBegin(b);
+                 v < graph.blockEnd(b); v++) {
+                auto r = state_->processVertex(
+                    program, v, options.tolerance, on_activate);
+                switch (r.outcome) {
+                  case AccumOutcome::Idle:
+                    break;
+                  case AccumOutcome::Folded:
+                    t.folded++;
+                    residualHist.record(r.magnitude);
+                    break;
+                  case AccumOutcome::Applied:
+                    t.processed++;
+                    t.l1 += r.magnitude;
+                    t.edges += graph.outDegree(v);
+                    t.scatters += r.scatters;
+                    break;
+                }
+            }
+            return t;
+        };
+
+        auto pump = [&](bool allow_requeue) {
+            std::vector<std::pair<BlockId, double>> activations;
+            std::uint32_t done = 0;
+            std::optional<BlockId> cur;
+            {
+                std::lock_guard<std::mutex> lock(ctl.m);
+                cur = claimLocked();
+                if (!cur) {
+                    ctl.pumps--;
+                    return;
+                }
+            }
+            for (;;) {
+                BlockTally t;
+                {
+                    obs::ScopedLatency lat(gasHist);
+                    t = processBlock(*cur, activations);
+                }
+                fanoutHist.record(static_cast<double>(t.scatters));
+                vertex_updates.fetch_add(t.processed,
+                                         std::memory_order_relaxed);
+                block_updates.fetch_add(1, std::memory_order_relaxed);
+                edge_traversals.fetch_add(t.edges,
+                                          std::memory_order_relaxed);
+                scatter_writes.fetch_add(t.scatters,
+                                         std::memory_order_relaxed);
+                foldbacks.fetch_add(t.folded,
+                                    std::memory_order_relaxed);
+                if (options.progress) {
+                    options.progress->accumulate(t.processed, 1,
+                                                 t.edges, t.scatters);
+                }
+                done++;
+                bool requeue = false;
+                {
+                    std::lock_guard<std::mutex> lock(ctl.m);
+                    if (!direct_push) {
+                        for (auto &[dst, delta] : activations)
+                            sched->activate(dst, delta);
+                    }
+                    ctl.inflight--;
+                    if constexpr (obs::kEnabled) {
+                        ctl.winL1 += t.l1;
+                        ctl.winActive += t.processed - t.folded;
+                        if (options.convergence) {
+                            const double ep =
+                                static_cast<double>(
+                                    vertex_updates.load(
+                                        std::memory_order_relaxed)) /
+                                n;
+                            if (ep + 1e-12 >= ctl.nextSample) {
+                                ctl.nextSample = ep + sampleInterval;
+                                obs::ConvergencePoint pt;
+                                pt.epochs = ep;
+                                pt.residual = ctl.winL1;
+                                pt.activeVertices = ctl.winActive;
+                                pt.vertexUpdates = vertex_updates.load(
+                                    std::memory_order_relaxed);
+                                pt.edgeTraversals = edge_traversals.load(
+                                    std::memory_order_relaxed);
+                                pt.wallSeconds = timer.seconds();
+                                options.convergence->record(pt);
+                                ctl.winL1 = 0.0;
+                                ctl.winActive = 0;
+                            }
+                        }
+                    }
+                    if (allow_requeue && done >= kQuantum &&
+                        sched->activeCount() > 0 && !ctl.halted) {
+                        // Keep ctl.pumps: the requeued task inherits
+                        // this participant's slot.
+                        requeue = true;
+                    } else {
+                        cur = claimLocked();
+                        if (cur)
+                            spawnLocked();
+                        else
+                            ctl.pumps--;
+                    }
+                }
+                if (requeue) {
+                    job->submit(pumpTask);
+                    return;
+                }
+                if (!cur)
+                    return;
+            }
+        };
+        pumpTask = [&pump] { pump(/*allow_requeue=*/true); };
+
+        {
+            std::lock_guard<std::mutex> lock(ctl.m);
+            ctl.pumps = 1;   // the calling thread participates
+            spawnLocked();
+        }
+        pump(/*allow_requeue=*/false);
+        job->wait();   // all pool participants drained
+
+        report.stopped = options.stop.stopRequested();
+        report.vertexUpdates = vertex_updates.load();
+        report.blockUpdates = block_updates.load();
+        report.edgeTraversals = edge_traversals.load();
+        report.scatterWrites = scatter_writes.load();
+        report.epochs = static_cast<double>(report.vertexUpdates) / n;
+        // A halted run never claims convergence: the scheduler still
+        // holds the unclaimed work, so empty() is the honest test.  No
+        // lock needed: job->wait() ordered every participant (and all
+        // their activations) before this point.
+        report.converged =
+            !report.stopped && !ctl.halted && sched->empty();
+        if constexpr (obs::kEnabled) {
+            report.residual = ctl.winL1;
+            if (options.convergence) {
+                obs::ConvergencePoint pt;
+                pt.epochs = report.epochs;
+                pt.residual = ctl.winL1;
+                pt.activeVertices = ctl.winActive;
+                pt.vertexUpdates = report.vertexUpdates;
+                pt.edgeTraversals = report.edgeTraversals;
+                pt.wallSeconds = timer.seconds();
+                options.convergence->recordFinal(pt);
+            }
+            obs::counter("engine.accum.foldbacks").add(foldbacks.load());
+            if (report.converged) {
+                obs::counter("engine.accum.updates_to_tolerance")
+                    .add(report.vertexUpdates);
+            }
+            const SchedulerCounters c = sched->counters();
+            obs::counter("scheduler.activations").add(c.activations);
+            obs::counter("scheduler.heap_pushes").add(c.heapPushes);
+            obs::counter("scheduler.stale_discards")
+                .add(c.staleDiscards);
+            obs::counter("scheduler.refreshes").add(c.refreshes);
+        }
+        return report;
+    }
+
+    const BlockPartition &graph;
+    Program program;
+    EngineOptions options;
+    std::unique_ptr<AccumState<Program>> state_;
+};
+
+} // namespace graphabcd
+
+#endif // GRAPHABCD_CORE_ACCUM_ENGINE_HH

@@ -140,24 +140,6 @@ class AsyncEngine
     }
 
     /**
-     * Update budget in vertex updates.  maxEpochs * |V| is computed in
-     * double and can exceed the uint64 range, where the bare cast is
-     * UB; clamp to UINT64_MAX (and to 0 for non-positive budgets).
-     */
-    static std::uint64_t
-    updateBudget(double max_epochs, double n)
-    {
-        constexpr std::uint64_t kMax =
-            std::numeric_limits<std::uint64_t>::max();
-        const double budget = max_epochs * n;
-        if (!(budget > 0.0))
-            return 0;
-        if (budget >= static_cast<double>(kMax))
-            return kMax;
-        return static_cast<std::uint64_t>(budget);
-    }
-
-    /**
      * Fused GATHER-APPLY-SCATTER of one block directly against the
      * atomic arrays.  @return (vertices changed, L1 delta).
      */

@@ -15,7 +15,13 @@
  * This header implements the operation-based machinery faithfully (it
  * is correct under serial or barriered execution) so that tests and the
  * ablation bench can demonstrate the lost-update anomaly under
- * asynchronous interleavings.
+ * asynchronous interleavings.  Sub-tolerance residuals are carried in a
+ * per-vertex side slot rather than dropped: an early version absorbed a
+ * gathered sub-tolerance sum into the value without ever re-scattering
+ * its downstream share, which leaked PageRank mass even under serial
+ * execution (the regression test pins sum(values) ~= 1 at fixpoint).
+ * The safe-by-construction variant of this machinery is
+ * src/core/accum_engine.hh.
  */
 
 #ifndef GRAPHABCD_CORE_DELTA_STATE_HH
@@ -113,6 +119,7 @@ class DeltaState
     {
         values_.resize(g.numVertices());
         pending_.assign(g.numEdges(), Value{});
+        residual_.assign(g.numVertices(), Value{});
         for (VertexId v = 0; v < g.numVertices(); v++) {
             values_[v] = p.init(v, g);
             Value seed = p.initialPending(v, g);
@@ -123,6 +130,8 @@ class DeltaState
 
     const std::vector<Value> &values() const { return values_; }
     const std::vector<Value> &pending() const { return pending_; }
+    /** Carried sub-tolerance sums, one per vertex (conservation). */
+    const std::vector<Value> &residuals() const { return residual_; }
 
     /**
      * GATHER without consuming: reads the pending increments of block
@@ -136,7 +145,9 @@ class DeltaState
         out.block = b;
         for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
              v++) {
-            Value acc{};
+            // Seed from the carried residual: sub-tolerance sums from
+            // earlier commits stay in play instead of being dropped.
+            Value acc = residual_[v];
             for (EdgeId e = graph.inEdgeBegin(v);
                  e < graph.inEdgeEnd(v); e++)
                 acc += pending_[e];
@@ -170,12 +181,17 @@ class DeltaState
         for (std::size_t i = 0; i < update.newValues.size(); i++) {
             const VertexId v = begin + static_cast<VertexId>(i);
             if (update.deltas[i] <= tol) {
-                values_[v] = update.newValues[i];
+                // Sub-tolerance: do NOT absorb the sum into the value
+                // (its downstream alpha-share would never scatter and
+                // the mass would leak).  Park it in the residual slot;
+                // the next gather of this block re-reads it.
+                residual_[v] = update.newValues[i] - values_[v];
                 continue;
             }
             Value inc = p.scatterDelta(v, values_[v],
                                        update.newValues[i], graph);
             values_[v] = update.newValues[i];
+            residual_[v] = Value{};   // consumed by this gather
             for (EdgeId pos : graph.scatterPositions(v)) {
                 pending_[pos] += inc;   // accumulate, not overwrite
                 on_write(graph.blockOf(graph.edgeDst(pos)),
@@ -197,6 +213,7 @@ class DeltaState
     const BlockPartition &graph;
     std::vector<Value> values_;
     std::vector<Value> pending_;
+    std::vector<Value> residual_;
 };
 
 /**

@@ -21,7 +21,9 @@
 #ifndef GRAPHABCD_CORE_ENGINE_HH
 #define GRAPHABCD_CORE_ENGINE_HH
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
@@ -34,6 +36,25 @@
 #include "support/timer.hh"
 
 namespace graphabcd {
+
+/**
+ * Update budget in vertex updates, shared by the threaded engines.
+ * maxEpochs * |V| is computed in double and can exceed the uint64
+ * range, where the bare cast is UB; clamp to UINT64_MAX (and to 0 for
+ * non-positive budgets).
+ */
+inline std::uint64_t
+updateBudget(double max_epochs, double n)
+{
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max();
+    const double budget = max_epochs * n;
+    if (!(budget > 0.0))
+        return 0;
+    if (budget >= static_cast<double>(kMax))
+        return kMax;
+    return static_cast<std::uint64_t>(budget);
+}
 
 /** One sample of a convergence trace. */
 struct TracePoint

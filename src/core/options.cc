@@ -12,6 +12,8 @@ to_string(Schedule schedule)
         return "priority";
       case Schedule::Random:
         return "random";
+      case Schedule::Obim:
+        return "obim";
     }
     return "?";
 }

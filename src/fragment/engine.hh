@@ -440,20 +440,6 @@ class FragmentEngine
     }
 
   private:
-    /** Same clamped budget rule as the async engine. */
-    static std::uint64_t
-    updateBudget(double max_epochs, double n)
-    {
-        constexpr std::uint64_t kMax =
-            std::numeric_limits<std::uint64_t>::max();
-        const double budget = max_epochs * n;
-        if (!(budget > 0.0))
-            return 0;
-        if (budget >= static_cast<double>(kMax))
-            return kMax;
-        return static_cast<std::uint64_t>(budget);
-    }
-
     /** Fold a shard's scheduler counters into the registry. */
     static void
     flushSchedulerCounters(const BlockScheduler &sched)

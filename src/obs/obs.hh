@@ -390,6 +390,20 @@ ringDepthBuckets()
     return {0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096, 16384, 65536};
 }
 
+/** Log-spaced |delta| magnitudes (residual-fold histograms). */
+inline std::vector<double>
+magnitudeBuckets()
+{
+    return {1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6};
+}
+
+/** OBIM level indices (bucket-residency histograms, 0 = hottest). */
+inline std::vector<double>
+obimLevelBuckets()
+{
+    return {0, 1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 63};
+}
+
 } // namespace obs
 } // namespace graphabcd
 

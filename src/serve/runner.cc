@@ -6,6 +6,7 @@
 #include "algorithms/label_propagation.hh"
 #include "algorithms/pagerank.hh"
 #include "algorithms/sssp.hh"
+#include "core/accum_engine.hh"
 #include "core/async_engine.hh"
 #include "core/engine.hh"
 #include "fragment/engine.hh"
@@ -62,6 +63,42 @@ runWith(const BlockPartition &g, Program program, const JobRequest &req)
     return out;
 }
 
+/** engine=accum: the accumulative programs are separate types, so the
+ *  algo dispatch is separate from runWith's. */
+template <typename Program>
+RunOutcome
+runAccum(const BlockPartition &g, Program program, const JobRequest &req)
+{
+    RunOutcome out;
+    AccumEngine<Program> engine(g, std::move(program), req.options);
+    out.report = engine.run(out.values);
+    return out;
+}
+
+RunOutcome
+runAccumJob(const BlockPartition &g, const JobRequest &req)
+{
+    if (req.algo == "pr")
+        return runAccum(g, PageRankAccumProgram(), req);
+    if (req.algo == "sssp")
+        return runAccum(g, SsspAccumProgram(req.source), req);
+    if (req.algo == "bfs")
+        return runAccum(g, BfsAccumProgram(req.source), req);
+    if (req.algo == "cc")
+        return runAccum(g, CcAccumProgram(), req);
+    RunOutcome out;
+    out.error = "algorithm '" + req.algo +
+                "' has no accumulative (delta) form; use another engine";
+    return out;
+}
+
+/** Algorithms whose fixpoint depends on JobRequest::source. */
+bool
+algoUsesSource(const std::string &algo)
+{
+    return algo == "sssp" || algo == "bfs" || algo == "ppr";
+}
+
 } // namespace
 
 RunOutcome
@@ -78,6 +115,8 @@ runAnalyticsJob(const BlockPartition &g, const JobRequest &req,
         effective = &with_pool;
     }
     const JobRequest &r = *effective;
+    if (r.engine == "accum")
+        return runAccumJob(g, r);
     if (r.algo == "pr")
         return runWith(g, PageRankProgram(), r);
     if (r.algo == "ppr")
@@ -101,18 +140,28 @@ isRunnable(const JobRequest &req, std::string *why)
     static const char *const algos[] = {"pr",  "ppr", "sssp",
                                         "bfs", "cc",  "lp"};
     static const char *const engines[] = {"serial", "async", "fragment",
-                                          "sim"};
+                                          "sim", "accum"};
+    static const char *const accum_algos[] = {"pr", "sssp", "bfs", "cc"};
     bool algo_ok = false;
     for (const char *a : algos)
         algo_ok = algo_ok || req.algo == a;
     bool engine_ok = false;
     for (const char *e : engines)
         engine_ok = engine_ok || req.engine == e;
+    bool combo_ok = true;
+    if (algo_ok && engine_ok && req.engine == "accum") {
+        combo_ok = false;
+        for (const char *a : accum_algos)
+            combo_ok = combo_ok || req.algo == a;
+    }
     if (!algo_ok && why)
         *why = "unknown algorithm '" + req.algo + "'";
     else if (!engine_ok && why)
         *why = "unknown engine '" + req.engine + "'";
-    return algo_ok && engine_ok;
+    else if (!combo_ok && why)
+        *why = "algorithm '" + req.algo +
+               "' has no accumulative (delta) form";
+    return algo_ok && engine_ok && combo_ok;
 }
 
 std::uint64_t
@@ -122,10 +171,17 @@ jobFamilyFingerprint(std::uint64_t graph_fingerprint,
     Fingerprint fp;
     fp.mix(graph_fingerprint);
     fp.mix(std::string_view(req.algo));
-    // The source vertex is part of the fixpoint for sssp/bfs/ppr; for
-    // the others it is ignored by the program, but mixing it uniformly
-    // costs only a cold cache entry, never a wrong hit.
-    fp.mix(static_cast<std::uint64_t>(req.source));
+    // The source vertex is part of the fixpoint only for sssp/bfs/ppr.
+    // For source-less algorithms it is normalized to a sentinel:
+    // mixing a stray source there is never a *wrong* hit, but it
+    // splits one result family across cache entries, so equivalent
+    // pagerank/cc/lp requests with different stray sources would miss
+    // the ResultCache (and its warm-start path) for no reason.  The
+    // sentinel cannot collide with a real source: VertexId is 32-bit.
+    constexpr std::uint64_t kNoSource = ~std::uint64_t{0};
+    fp.mix(algoUsesSource(req.algo)
+               ? static_cast<std::uint64_t>(req.source)
+               : kNoSource);
     return fp.value();
 }
 

@@ -119,6 +119,69 @@ TEST(PageRankDelta, StateBasedSurvivesTheSameInterleaving)
         EXPECT_NEAR(state.values()[v], ref[v], 1e-7);
 }
 
+TEST(PageRankDelta, RankMassIsConservedToFixpoint)
+{
+    // Regression for the residual leak: commitBlock used to absorb a
+    // sub-tolerance gathered sum into the value WITHOUT scattering its
+    // downstream alpha-share, so every such absorb leaked
+    // alpha/(1-alpha) of the absorbed mass.  With the residual carry,
+    //   sum(values) + (sum(pending) + sum(residuals)) / (1 - alpha)
+    // is invariant (== 1) after every commit, and the fixpoint keeps
+    // sum(values) ~= 1.  Ring + random chords: every vertex has an
+    // out-edge, so no mass drains through dangling vertices.
+    const double alpha = 0.85;
+    Rng rng(114);
+    EdgeList el = generateCycle(64);
+    for (int i = 0; i < 128; i++) {
+        const auto src = static_cast<VertexId>(rng.nextBounded(64));
+        const auto dst = static_cast<VertexId>(rng.nextBounded(64));
+        el.addEdge(src, dst);
+    }
+    BlockPartition g(el, 8);
+    PageRankDeltaProgram p(alpha);
+    DeltaState<PageRankDeltaProgram> state(g, p);
+    const double tol = 1e-12;
+
+    auto conserved = [&] {
+        double v = 0.0, carried = 0.0;
+        for (double x : state.values())
+            v += x;
+        for (double d : state.pending())
+            carried += d;
+        for (double r : state.residuals())
+            carried += r;
+        return v + carried / (1.0 - alpha);
+    };
+    EXPECT_NEAR(conserved(), 1.0, 1e-12);   // seed state
+
+    auto sched = makeScheduler(Schedule::Cyclic, g.numBlocks(), 1);
+    for (BlockId b = 0; b < g.numBlocks(); b++)
+        sched->activate(b, 1.0);
+    std::uint64_t commits = 0;
+    while (auto b = sched->next()) {
+        auto update = state.gatherBlock(p, *b);
+        state.commitBlock(p, update, tol,
+                          [&sched](BlockId dst, double delta) {
+                              sched->activate(dst, delta);
+                          });
+        // The invariant holds after EVERY commit, not just at the end.
+        if (++commits % 16 == 0) {
+            ASSERT_NEAR(conserved(), 1.0, 1e-9) << commits << " commits";
+        }
+        ASSERT_LT(commits, 200000u) << "delta iteration diverged";
+    }
+
+    EXPECT_NEAR(conserved(), 1.0, 1e-9);
+    double mass = 0.0;
+    for (double x : state.values())
+        mass += x;
+    EXPECT_NEAR(mass, 1.0, 1e-9);   // parked residuals are sub-tol
+
+    std::vector<double> ref = pagerankReference(el, alpha);
+    for (VertexId v = 0; v < el.numVertices(); v++)
+        EXPECT_NEAR(state.values()[v], ref[v], 1e-7);
+}
+
 TEST(LabelPropagation, TwoCliquesSplitIntoTwoCommunities)
 {
     // Two 6-cliques joined by a single bridge edge.

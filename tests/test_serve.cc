@@ -185,6 +185,38 @@ TEST(Fingerprint, AlgoSourceAndGraphSplitFamilies)
               jobFamilyFingerprint(2, base));
 }
 
+TEST(Fingerprint, StraySourceDoesNotSplitSourcelessFamilies)
+{
+    // Regression: pr/cc/lp ignore JobRequest::source, but the family
+    // fingerprint used to mix it anyway, so equivalent requests with
+    // different stray sources landed in different cache families and
+    // missed the ResultCache (and its warm-start path) for no reason.
+    for (const char *algo : {"pr", "cc", "lp"}) {
+        JobRequest a;
+        a.graph = "g";
+        a.algo = algo;
+        a.source = 0;
+        JobRequest b = a;
+        b.source = 7;
+
+        EXPECT_EQ(jobFamilyFingerprint(1, a), jobFamilyFingerprint(1, b))
+            << algo;
+        EXPECT_EQ(jobFingerprint(1, a), jobFingerprint(1, b)) << algo;
+    }
+
+    // The source-dependent algorithms must still split on it.
+    for (const char *algo : {"sssp", "bfs", "ppr"}) {
+        JobRequest a;
+        a.graph = "g";
+        a.algo = algo;
+        a.source = 0;
+        JobRequest b = a;
+        b.source = 7;
+        EXPECT_NE(jobFamilyFingerprint(1, a), jobFamilyFingerprint(1, b))
+            << algo;
+    }
+}
+
 // ---------------------------------------------------------------------
 // ResultCache
 
@@ -410,6 +442,54 @@ TEST_F(ServeTest, ConcurrentJobsMatchDirectEngineRuns)
     EXPECT_EQ(stats.submitted, reqs.size());
     EXPECT_EQ(stats.completed, reqs.size());
     EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(ServeTest, AccumEngineJobsRunThroughTheServeLayer)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 4;
+    JobManager manager(registry, cfg);
+
+    JobRequest req = request("web", "pr", "accum");
+    req.options.schedule = Schedule::Obim;
+    req.options.tolerance = 1e-12;
+    JobManager::Submitted sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok()) << to_string(sub.error);
+    ASSERT_TRUE(manager.wait(sub.id, 60.0));
+
+    auto result = manager.result(sub.id);
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->report.converged);
+    std::vector<double> ref = pagerankReference(web, 0.85);
+    ASSERT_EQ(result->values.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); v++)
+        EXPECT_NEAR(result->values[v], ref[v], 1e-6) << "vertex " << v;
+}
+
+TEST_F(ServeTest, AccumEngineRejectsAlgosWithoutADeltaForm)
+{
+    std::string why;
+    EXPECT_TRUE(isRunnable(request("web", "pr", "accum"), &why)) << why;
+    EXPECT_TRUE(isRunnable(request("web", "sssp", "accum"), &why))
+        << why;
+    EXPECT_TRUE(isRunnable(request("web", "bfs", "accum"), &why)) << why;
+    EXPECT_TRUE(isRunnable(request("web", "cc", "accum"), &why)) << why;
+
+    EXPECT_FALSE(isRunnable(request("web", "lp", "accum"), &why));
+    EXPECT_NE(why.find("accumulative"), std::string::npos) << why;
+    EXPECT_FALSE(isRunnable(request("web", "ppr", "accum"), &why));
+
+    // The same algos stay runnable on the other engines.
+    EXPECT_TRUE(isRunnable(request("web", "lp", "serial"), &why)) << why;
+
+    // And the runner reports the unsupported combination as a job
+    // error, not a crash.
+    auto g = registry.get("web");
+    RunOutcome out = runAnalyticsJob(*g, request("web", "lp", "accum"));
+    EXPECT_FALSE(out.ok());
+    EXPECT_NE(out.error.find("accumulative"), std::string::npos)
+        << out.error;
 }
 
 TEST_F(ServeTest, FragmentEngineJobsRunThroughTheServeLayer)

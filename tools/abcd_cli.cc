@@ -8,6 +8,7 @@
  *   abcd_cli --algo pr --dataset LJ --schedule priority
  *   abcd_cli --algo sssp --graph web.el --source 17 --engine async
  *   abcd_cli --algo cc --dataset WT --engine sim --pes 8
+ *   abcd_cli --algo pr --dataset PS --engine accum --schedule obim
  *   abcd_cli --algo pr --graph web.el --dump ranks.txt
  */
 
@@ -20,6 +21,7 @@
 #include "algorithms/label_propagation.hh"
 #include "algorithms/pagerank.hh"
 #include "algorithms/sssp.hh"
+#include "core/accum_engine.hh"
 #include "core/async_engine.hh"
 #include "core/engine.hh"
 #include "graph/datasets.hh"
@@ -35,11 +37,48 @@ namespace {
 
 struct CliOptions
 {
-    std::string engine;       //!< serial | async | sim
+    std::string engine;       //!< serial | async | accum | sim
     EngineOptions opt;
     HarpConfig harp;
     std::string dump;         //!< write per-vertex results here
 };
+
+/** Write per-vertex results to cli.dump when requested. */
+template <typename Value>
+void
+dumpValues(const BlockPartition &g, const std::vector<Value> &values,
+           const CliOptions &cli, const char *value_name)
+{
+    if (cli.dump.empty())
+        return;
+    std::ofstream ofs(cli.dump);
+    if (!ofs)
+        fatal("cannot open '", cli.dump, "'");
+    ofs << "# vertex " << value_name << '\n';
+    if constexpr (std::is_arithmetic_v<Value>) {
+        for (VertexId v = 0; v < g.numVertices(); v++)
+            ofs << v << ' ' << values[v] << '\n';
+    }
+    std::printf("wrote %u values to %s\n", g.numVertices(),
+                cli.dump.c_str());
+}
+
+/** Run an accumulative-delta program and print the common summary. */
+template <typename Program>
+int
+runAccumAlgorithm(const BlockPartition &g, Program program,
+                  const CliOptions &cli, const char *value_name)
+{
+    std::vector<typename Program::Value> values;
+    AccumEngine<Program> engine(g, std::move(program), cli.opt);
+    EngineReport report = engine.run(values);
+    std::printf("%s in %.2f epochs (wall %s)\n",
+                report.converged ? "converged" : "stopped",
+                report.epochs,
+                formatSeconds(report.seconds).c_str());
+    dumpValues(g, values, cli, value_name);
+    return 0;
+}
 
 /** Run `program` on the chosen engine and print the common summary. */
 template <typename Program>
@@ -82,7 +121,7 @@ runAlgorithm(const BlockPartition &g, Program program,
                     report.peUtilization, report.busUtilization);
     } else {
         fatal("unknown engine '", cli.engine,
-              "' (serial | async | sim)");
+              "' (serial | async | accum | sim)");
     }
 
     std::printf("%s in %.2f epochs (%s %s)\n",
@@ -90,18 +129,7 @@ runAlgorithm(const BlockPartition &g, Program program,
                 cli.engine == "sim" ? "simulated" : "wall",
                 formatSeconds(seconds).c_str());
 
-    if (!cli.dump.empty()) {
-        std::ofstream ofs(cli.dump);
-        if (!ofs)
-            fatal("cannot open '", cli.dump, "'");
-        ofs << "# vertex " << value_name << '\n';
-        if constexpr (std::is_arithmetic_v<typename Program::Value>) {
-            for (VertexId v = 0; v < g.numVertices(); v++)
-                ofs << v << ' ' << values[v] << '\n';
-        }
-        std::printf("wrote %u values to %s\n", g.numVertices(),
-                    cli.dump.c_str());
-    }
+    dumpValues(g, values, cli, value_name);
     return 0;
 }
 
@@ -116,9 +144,10 @@ main(int argc, char **argv)
     flags.declare("graph", "", "edge-list file (.el text or .bin)");
     flags.declare("dataset", "", "named stand-in (WT PS LJ TW ...)");
     flags.declareDouble("scale", 1.0, "dataset scale factor");
-    flags.declare("engine", "serial", "serial | async | sim");
+    flags.declare("engine", "serial", "serial | async | accum | sim");
     flags.declareInt("block-size", 512, "vertices per block");
-    flags.declare("schedule", "cyclic", "cyclic | priority | random");
+    flags.declare("schedule", "cyclic",
+                  "cyclic | priority | random | obim");
     flags.declareInt("threads", 4, "async engine worker threads");
     flags.declareInt("pes", 16, "sim: FPGA PEs");
     flags.declareBool("hybrid", false, "sim: CPU gather-apply workers");
@@ -176,6 +205,7 @@ main(int argc, char **argv)
     const std::string sched = flags.get("schedule");
     cli.opt.schedule = sched == "priority" ? Schedule::Priority
         : sched == "random"                ? Schedule::Random
+        : sched == "obim"                  ? Schedule::Obim
                                            : Schedule::Cyclic;
     cli.harp.numPes = static_cast<std::uint32_t>(flags.getInt("pes"));
     cli.harp.hybrid = flags.getBool("hybrid");
@@ -191,6 +221,21 @@ main(int argc, char **argv)
             std::max_element(deg.begin(), deg.end()) - deg.begin());
     }
 
+    if (cli.engine == "accum") {
+        if (algo == "pr")
+            return runAccumAlgorithm(g, PageRankAccumProgram(), cli,
+                                     "rank");
+        if (algo == "sssp")
+            return runAccumAlgorithm(g, SsspAccumProgram(source), cli,
+                                     "distance");
+        if (algo == "bfs")
+            return runAccumAlgorithm(g, BfsAccumProgram(source), cli,
+                                     "depth");
+        if (algo == "cc")
+            return runAccumAlgorithm(g, CcAccumProgram(), cli,
+                                     "component");
+        fatal("--engine accum supports pr | sssp | bfs | cc");
+    }
     if (algo == "pr")
         return runAlgorithm(g, PageRankProgram(), cli, "rank");
     if (algo == "ppr") {

@@ -7,8 +7,9 @@
  *
  *   LOAD <name> <dataset-key-or-file> [scale=F] [block-size=N]
  *        [undirected=0|1] [seed=N]
- *   RUN <graph> <algo> [engine=serial|async|fragment|sim] [source=N]
- *       [priority=F] [timeout=F] [tolerance=F] [schedule=S]
+ *   RUN <graph> <algo> [engine=serial|async|fragment|accum|sim]
+ *       [source=N] [priority=F] [timeout=F] [tolerance=F]
+ *       [schedule=cyclic|priority|random|obim]
  *       [threads=N] [fragments=N] [max-epochs=F] [cached=0|1]
  *       [warm=0|1]
  *   STATUS <job-id>
@@ -240,6 +241,7 @@ class ServeShell
             param(params, "schedule", std::string("cyclic"));
         req.options.schedule = sched == "priority" ? Schedule::Priority
             : sched == "random"                    ? Schedule::Random
+            : sched == "obim"                      ? Schedule::Obim
                                                    : Schedule::Cyclic;
 
         JobManager::Submitted sub = manager_.submit(std::move(req));

@@ -36,6 +36,15 @@ run_preset() {
         GRAPHABCD_FRAGMENT_STRESS_ITERS=24 \
             "./build-tsan/tests/abcd_tests" \
             --gtest_filter='FragmentStress.*'
+
+        # Same treatment for the accumulative engine: its scatter hooks
+        # push into the OBIM worklist concurrently (no control lock), so
+        # the cancel storm is rerun heavier to cover many push/pop/drain
+        # interleavings under the race detector.
+        echo "== accum stress (${preset}) =="
+        GRAPHABCD_ACCUM_STRESS_ITERS=24 \
+            "./build-tsan/tests/abcd_tests" \
+            --gtest_filter='AccumStress.*'
     fi
 
     echo "== ${preset}: OK =="
