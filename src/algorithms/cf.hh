@@ -146,15 +146,14 @@ cfRmse(const BlockPartition &g, const std::vector<FeatureVec<H>> &x)
     double sq = 0.0;
     EdgeId m = 0;
     for (VertexId v = 0; v < g.numVertices(); v++) {
-        for (EdgeId e = g.inEdgeBegin(v); e < g.inEdgeEnd(v); e++) {
-            const VertexId u = g.edgeSrc(e);
+        g.forEachInEdge(v, [&](EdgeId, VertexId u, float w) {
             double dot = 0.0;
             for (std::uint32_t k = 0; k < H; k++)
                 dot += static_cast<double>(x[u][k]) * x[v][k];
-            const double err = static_cast<double>(g.edgeWeight(e)) - dot;
+            const double err = static_cast<double>(w) - dot;
             sq += err * err;
             m++;
-        }
+        });
     }
     return m ? std::sqrt(sq / static_cast<double>(m)) : 0.0;
 }

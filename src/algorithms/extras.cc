@@ -11,12 +11,12 @@ coloringConflicts(const BlockPartition &g,
                   const std::vector<double> &colors)
 {
     std::uint64_t conflicts = 0;
-    for (EdgeId e = 0; e < g.numEdges(); e++) {
-        VertexId u = g.edgeSrc(e);
-        VertexId v = g.edgeDst(e);
-        if (u != v && ColoringProgram::colorOf(colors[u]) ==
-                          ColoringProgram::colorOf(colors[v]))
-            conflicts++;
+    for (VertexId v = 0; v < g.numVertices(); v++) {
+        g.forEachInEdge(v, [&](EdgeId, VertexId u, float) {
+            if (u != v && ColoringProgram::colorOf(colors[u]) ==
+                              ColoringProgram::colorOf(colors[v]))
+                conflicts++;
+        });
     }
     return conflicts;
 }

@@ -10,12 +10,11 @@ pagerankResidual(const BlockPartition &g, const std::vector<double> &x,
     double sq = 0.0;
     for (VertexId v = 0; v < g.numVertices(); v++) {
         double acc = 0.0;
-        for (EdgeId e = g.inEdgeBegin(v); e < g.inEdgeEnd(v); e++) {
-            VertexId u = g.edgeSrc(e);
+        g.forEachInEdge(v, [&](EdgeId, VertexId u, float) {
             const std::uint32_t d = g.outDegree(u);
             if (d)
                 acc += x[u] / d;
-        }
+        });
         double r = (1.0 - alpha) / n + alpha * acc - x[v];
         sq += r * r;
     }

@@ -369,11 +369,13 @@ class AccumState
      *        and for monotone min-programs a skipped wake can never
      *        become necessary later (the estimated move only
      *        shrinks), so no wakeup is lost.
+     * @param scratch caller-owned scatter decode buffer — processors
+     *        run concurrently, so each participant brings its own.
      */
     template <typename OnActivate>
     Result
     processVertex(const Program &p, VertexId v, double tol,
-                  OnActivate &&on_activate)
+                  OnActivate &&on_activate, ScatterScratch &scratch)
     {
         Result r;
         const Value identity = p.identityDelta();
@@ -398,12 +400,14 @@ class AccumState
                     std::memory_order_relaxed)) {
                 r.outcome = AccumOutcome::Applied;
                 r.magnitude = mag;
-                for (EdgeId pos : graph.scatterPositions(v)) {
+                BlockId hint = graph.numBlocks() ? graph.blockOf(v)
+                                                 : invalidBlock;
+                for (EdgeId pos : graph.scatterList(v, scratch)) {
                     const Value contrib =
                         p.propagate(v, next, d, pos, graph);
                     if (contrib == identity)
                         continue;
-                    const VertexId dst = graph.edgeDst(pos);
+                    const VertexId dst = graph.edgeDstAt(pos, hint);
                     const Value after =
                         atomicCombine(p, pending_[dst], contrib);
                     r.scatters++;
@@ -431,6 +435,18 @@ class AccumState
             // d against the fresh value (monotonicity makes any order
             // reach the same fixpoint).
         }
+    }
+
+    /** processVertex with a throwaway scratch (direct test callers). */
+    template <typename OnActivate>
+    Result
+    processVertex(const Program &p, VertexId v, double tol,
+                  OnActivate &&on_activate)
+    {
+        ScatterScratch scratch;
+        return processVertex(p, v, tol,
+                             std::forward<OnActivate>(on_activate),
+                             scratch);
     }
 
   private:
@@ -608,7 +624,8 @@ class AccumEngine
         // otherwise activations buffer until the locked commit.
         auto processBlock =
             [&](BlockId b,
-                std::vector<std::pair<BlockId, double>> &activations)
+                std::vector<std::pair<BlockId, double>> &activations,
+                ScatterScratch &scratch)
             -> BlockTally {
             BlockTally t;
             activations.clear();
@@ -622,7 +639,7 @@ class AccumEngine
             for (VertexId v = graph.blockBegin(b);
                  v < graph.blockEnd(b); v++) {
                 auto r = state_->processVertex(
-                    program, v, options.tolerance, on_activate);
+                    program, v, options.tolerance, on_activate, scratch);
                 switch (r.outcome) {
                   case AccumOutcome::Idle:
                     break;
@@ -643,6 +660,7 @@ class AccumEngine
 
         auto pump = [&](bool allow_requeue) {
             std::vector<std::pair<BlockId, double>> activations;
+            ScatterScratch scratch;   // per-participant decode buffer
             std::uint32_t done = 0;
             std::optional<BlockId> cur;
             {
@@ -657,7 +675,7 @@ class AccumEngine
                 BlockTally t;
                 {
                     obs::ScopedLatency lat(gasHist);
-                    t = processBlock(*cur, activations);
+                    t = processBlock(*cur, activations, scratch);
                 }
                 fanoutHist.record(static_cast<double>(t.scatters));
                 vertex_updates.fetch_add(t.processed,

@@ -119,6 +119,7 @@ class AsyncEngine
         }();
         values = std::vector<std::atomic<Value>>(n);
         edgeValues = std::vector<std::atomic<Value>>(graph.numEdges());
+        std::vector<Value> ev(n);
         for (VertexId v = 0; v < n; v++) {
             Value init = program.init(v, graph);
             if constexpr (std::is_same_v<Value, double>) {
@@ -126,9 +127,14 @@ class AsyncEngine
                     init = (*options.warmStart)[v];
             }
             values[v].store(init, std::memory_order_relaxed);
-            Value ev = program.edgeValue(v, init, graph);
-            for (EdgeId pos : graph.scatterPositions(v))
-                edgeValues[pos].store(ev, std::memory_order_relaxed);
+            ev[v] = program.edgeValue(v, init, graph);
+        }
+        // Seed the edge-carried copies by walking destination in-lists
+        // (position order), which every layout supports directly.
+        for (VertexId v = 0; v < n; v++) {
+            graph.forEachInEdge(v, [&](EdgeId pos, VertexId src, float) {
+                edgeValues[pos].store(ev[src], std::memory_order_relaxed);
+            });
         }
     }
 
@@ -141,15 +147,20 @@ class AsyncEngine
 
     /**
      * Fused GATHER-APPLY-SCATTER of one block directly against the
-     * atomic arrays.  @return (vertices changed, L1 delta).
+     * atomic arrays.  `scratch` is per-participant: pumps run
+     * concurrently, so each owns its own decode buffers.
+     * @return (vertices changed, L1 delta).
      */
     std::pair<VertexId, double>
     processAndCommit(BlockId b,
-                     std::vector<std::pair<BlockId, double>> &activations)
+                     std::vector<std::pair<BlockId, double>> &activations,
+                     LayoutScratch &scratch)
     {
         VertexId changed = 0;
         double l1 = 0.0;
         activations.clear();
+        const BlockEdgesView slice = graph.blockEdges(b, scratch.slice);
+        BlockId hint = b;
         for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
              v++) {
             auto acc = program.identity();
@@ -158,7 +169,8 @@ class AsyncEngine
                  e++) {
                 Value ev = edgeValues[e].load(std::memory_order_relaxed);
                 acc = program.combine(
-                    acc, program.edgeTerm(old, ev, graph.edgeWeight(e)));
+                    acc, program.edgeTerm(old, ev,
+                                          slice.wgt[e - slice.base]));
             }
             Value next = program.apply(v, acc, old, graph);
             double d = program.delta(old, next);
@@ -166,7 +178,7 @@ class AsyncEngine
             values[v].store(next, std::memory_order_relaxed);
             if (d > options.tolerance) {
                 changed++;
-                auto positions = graph.scatterPositions(v);
+                auto positions = graph.scatterList(v, scratch.scatter);
                 if (positions.empty())
                     continue;
                 // Read the outgoing edges' previous value before the
@@ -179,7 +191,7 @@ class AsyncEngine
                 for (EdgeId pos : positions) {
                     edgeValues[pos].store(ev, std::memory_order_relaxed);
                     activations.emplace_back(
-                        graph.blockOf(graph.edgeDst(pos)), edge_delta);
+                        graph.dstBlockOfEdge(pos, hint), edge_delta);
                 }
             }
         }
@@ -333,6 +345,7 @@ class AsyncEngine
         // participant requeues itself behind other runs' tasks).
         auto pump = [&](bool allow_requeue) {
             std::vector<std::pair<BlockId, double>> activations;
+            LayoutScratch scratch;   // per-participant decode buffers
             std::uint32_t done = 0;
             std::optional<WorkItem> cur;
             {
@@ -350,7 +363,8 @@ class AsyncEngine
                 double l1 = 0.0;
                 {
                     obs::ScopedLatency lat(gasHist);
-                    std::tie(chg, l1) = processAndCommit(b, activations);
+                    std::tie(chg, l1) =
+                        processAndCommit(b, activations, scratch);
                     (void)chg;
                     (void)l1;
                 }
@@ -505,6 +519,9 @@ class AsyncEngine
 
         std::vector<BlockId> wave;
         std::vector<BlockUpdate<Value>> updates;
+        // Commits run serially after the superstep barrier, so one
+        // scatter decode buffer serves every commitUpdate call.
+        ScatterScratch commit_scratch;
         while (!sched->empty()) {
             if (options.stop.stopRequested()) {
                 report.stopped = true;
@@ -517,12 +534,16 @@ class AsyncEngine
             updates.assign(wave.size(), {});
             std::atomic<std::size_t> cursor{0};
             auto sweep = [&] {
+                // Declared inside the body, NOT captured: this one
+                // closure runs on several workers at once, and each
+                // needs its own decode buffer.
+                EdgeSliceScratch slice_scratch;
                 for (;;) {
                     std::size_t i =
                         cursor.fetch_add(1, std::memory_order_relaxed);
                     if (i >= wave.size())
                         return;
-                    updates[i] = gatherApplyBlock(wave[i]);
+                    updates[i] = gatherApplyBlock(wave[i], slice_scratch);
                 }
             };
             // participation-1 pool helpers; the caller sweeps too.
@@ -534,7 +555,8 @@ class AsyncEngine
             job->wait();   // the global memory barrier
 
             for (std::size_t i = 0; i < wave.size(); i++) {
-                commitUpdate(wave[i], updates[i], *sched, report);
+                commitUpdate(wave[i], updates[i], *sched, report,
+                             commit_scratch);
             }
             report.epochs = static_cast<double>(report.vertexUpdates) / n;
             if constexpr (obs::kEnabled) {
@@ -586,10 +608,11 @@ class AsyncEngine
 
     /** Jacobi helper: GATHER-APPLY one block without committing. */
     BlockUpdate<Value>
-    gatherApplyBlock(BlockId b)
+    gatherApplyBlock(BlockId b, EdgeSliceScratch &slice_scratch)
     {
         BlockUpdate<Value> out;
         out.block = b;
+        const BlockEdgesView slice = graph.blockEdges(b, slice_scratch);
         for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
              v++) {
             auto acc = program.identity();
@@ -598,7 +621,8 @@ class AsyncEngine
                  e++) {
                 Value ev = edgeValues[e].load(std::memory_order_relaxed);
                 acc = program.combine(
-                    acc, program.edgeTerm(old, ev, graph.edgeWeight(e)));
+                    acc, program.edgeTerm(old, ev,
+                                          slice.wgt[e - slice.base]));
             }
             Value next = program.apply(v, acc, old, graph);
             double d = program.delta(old, next);
@@ -614,15 +638,17 @@ class AsyncEngine
     /** Jacobi helper: commit + activate one block update. */
     void
     commitUpdate(BlockId b, const BlockUpdate<Value> &update,
-                 BlockScheduler &sched, EngineReport &report)
+                 BlockScheduler &sched, EngineReport &report,
+                 ScatterScratch &scatter_scratch)
     {
         const VertexId begin = graph.blockBegin(b);
+        BlockId hint = b;
         for (std::size_t i = 0; i < update.newValues.size(); i++) {
             const VertexId v = begin + static_cast<VertexId>(i);
             values[v].store(update.newValues[i],
                             std::memory_order_relaxed);
             if (update.deltas[i] > options.tolerance) {
-                auto positions = graph.scatterPositions(v);
+                auto positions = graph.scatterList(v, scatter_scratch);
                 if (positions.empty())
                     continue;
                 const Value old_ev = edgeValues[positions.front()].load(
@@ -632,7 +658,7 @@ class AsyncEngine
                 const double edge_delta = program.delta(old_ev, ev);
                 for (EdgeId pos : positions) {
                     edgeValues[pos].store(ev, std::memory_order_relaxed);
-                    sched.activate(graph.blockOf(graph.edgeDst(pos)),
+                    sched.activate(graph.dstBlockOfEdge(pos, hint),
                                    edge_delta);
                     report.scatterWrites++;
                 }

@@ -123,7 +123,7 @@ class DeltaState
         for (VertexId v = 0; v < g.numVertices(); v++) {
             values_[v] = p.init(v, g);
             Value seed = p.initialPending(v, g);
-            for (EdgeId pos : g.scatterPositions(v))
+            for (EdgeId pos : g.scatterList(v, scatterScratch_))
                 pending_[pos] = seed;
         }
     }
@@ -178,6 +178,7 @@ class DeltaState
 
         EdgeId writes = 0;
         const VertexId begin = graph.blockBegin(update.block);
+        BlockId hint = update.block;
         for (std::size_t i = 0; i < update.newValues.size(); i++) {
             const VertexId v = begin + static_cast<VertexId>(i);
             if (update.deltas[i] <= tol) {
@@ -192,9 +193,9 @@ class DeltaState
                                        update.newValues[i], graph);
             values_[v] = update.newValues[i];
             residual_[v] = Value{};   // consumed by this gather
-            for (EdgeId pos : graph.scatterPositions(v)) {
+            for (EdgeId pos : graph.scatterList(v, scatterScratch_)) {
                 pending_[pos] += inc;   // accumulate, not overwrite
-                on_write(graph.blockOf(graph.edgeDst(pos)),
+                on_write(graph.dstBlockOfEdge(pos, hint),
                          update.deltas[i]);
                 writes++;
             }
@@ -214,6 +215,9 @@ class DeltaState
     std::vector<Value> values_;
     std::vector<Value> pending_;
     std::vector<Value> residual_;
+    // One thread drives an instance (serial/barriered by design — see
+    // the file comment), so the decode scratch is a member.
+    ScatterScratch scatterScratch_;
 };
 
 /**

@@ -34,7 +34,13 @@ struct BlockUpdate
     VertexId changed = 0;           //!< vertices moving more than tol
 };
 
-/** Vertex + edge-carried values of one run. */
+/**
+ * Vertex + edge-carried values of one run.
+ *
+ * One instance is driven by one thread at a time (SerialEngine, the
+ * HarpSystem event loop, the GraphMat baseline); the layout decode
+ * scratches are members under that contract.
+ */
 template <VertexProgram Program>
 class BcdState
 {
@@ -54,12 +60,7 @@ class BcdState
         values_.resize(n);
         for (VertexId v = 0; v < n; v++)
             values_[v] = p.init(v, g);
-        edgeValues_.resize(g.numEdges());
-        for (VertexId v = 0; v < n; v++) {
-            Value ev = p.edgeValue(v, values_[v], g);
-            for (EdgeId pos : g.scatterPositions(v))
-                edgeValues_[pos] = ev;
-        }
+        seedEdgeValues(g, p);
     }
 
     /**
@@ -74,12 +75,7 @@ class BcdState
         GRAPHABCD_ASSERT(init.size() == g.numVertices(),
                          "warm-start size must match |V|");
         values_ = std::move(init);
-        edgeValues_.resize(g.numEdges());
-        for (VertexId v = 0; v < g.numVertices(); v++) {
-            Value ev = p.edgeValue(v, values_[v], g);
-            for (EdgeId pos : g.scatterPositions(v))
-                edgeValues_[pos] = ev;
-        }
+        seedEdgeValues(g, p);
     }
 
     const std::vector<Value> &values() const { return values_; }
@@ -106,12 +102,17 @@ class BcdState
         out.newValues.reserve(end - begin);
         out.deltas.reserve(end - begin);
 
+        // Stream the slice through the layout: plain returns spans in
+        // place, compressed decodes into the member scratch — either
+        // way the partition's gather bytes-moved tally is charged.
+        const BlockEdgesView slice = g.blockEdges(b, gatherScratch_);
+
         for (VertexId v = begin; v < end; v++) {
             auto acc = p.identity();
             const Value &old = values_[v];
             for (EdgeId e = g.inEdgeBegin(v); e < g.inEdgeEnd(v); e++) {
                 acc = p.combine(acc, p.edgeTerm(old, edgeValues_[e],
-                                                g.edgeWeight(e)));
+                                                slice.wgt[e - slice.base]));
             }
             Value next = p.apply(v, acc, old, g);
             double d = p.delta(old, next);
@@ -142,11 +143,12 @@ class BcdState
     {
         const VertexId begin = g.blockBegin(update.block);
         EdgeId writes = 0;
+        BlockId hint = update.block;
         for (std::size_t i = 0; i < update.newValues.size(); i++) {
             const VertexId v = begin + static_cast<VertexId>(i);
             values_[v] = update.newValues[i];
             if (update.deltas[i] > tol) {
-                auto positions = g.scatterPositions(v);
+                auto positions = g.scatterList(v, scatterScratch_);
                 if (positions.empty())
                     continue;
                 Value ev = p.edgeValue(v, values_[v], g);
@@ -159,7 +161,7 @@ class BcdState
                     p.delta(edgeValues_[positions.front()], ev);
                 for (EdgeId pos : positions) {
                     edgeValues_[pos] = ev;
-                    on_write(g.blockOf(g.edgeDst(pos)), edge_delta);
+                    on_write(g.dstBlockOfEdge(pos, hint), edge_delta);
                     writes++;
                 }
             }
@@ -176,8 +178,32 @@ class BcdState
     }
 
   private:
+    /**
+     * Derive every edge-carried copy from the current vertex values.
+     * Walks destination in-lists (position order), which works in every
+     * layout; the per-source copies are precomputed once.
+     */
+    void
+    seedEdgeValues(const BlockPartition &g, const Program &p)
+    {
+        const VertexId n = g.numVertices();
+        std::vector<Value> ev(n);
+        for (VertexId v = 0; v < n; v++)
+            ev[v] = p.edgeValue(v, values_[v], g);
+        edgeValues_.resize(g.numEdges());
+        for (VertexId v = 0; v < n; v++) {
+            g.forEachInEdge(v, [&](EdgeId pos, VertexId src, float) {
+                edgeValues_[pos] = ev[src];
+            });
+        }
+    }
+
     std::vector<Value> values_;
     std::vector<Value> edgeValues_;
+
+    // Layout decode buffers; see the class contract above.
+    mutable EdgeSliceScratch gatherScratch_;
+    ScatterScratch scatterScratch_;
 };
 
 } // namespace graphabcd

@@ -93,12 +93,15 @@ class FragmentShard
         // Every slice position starts from the source's initial value —
         // including mirror slots, because the program is pure: the
         // remote owner computes exactly the same init, so no start-up
-        // message exchange is needed.
+        // message exchange is needed.  The slice [eBegin, eEnd) is
+        // exactly the in-edges of the local vertex range, so walking
+        // destination in-lists covers it in every layout.
         edgeValues_.resize(eEnd - eBegin);
-        for (EdgeId pos = eBegin; pos < eEnd; pos++) {
-            const VertexId src = graph.edgeSrc(pos);
-            edgeValues_[pos - eBegin] =
-                program.edgeValue(src, initValue(src), graph);
+        for (VertexId v = vBegin; v < vEnd; v++) {
+            graph.forEachInEdge(v, [&](EdgeId pos, VertexId src, float) {
+                edgeValues_[pos - eBegin] =
+                    program.edgeValue(src, initValue(src), graph);
+            });
         }
 
         const BlockId localBlocks = topo.blockCount(id);
@@ -128,6 +131,7 @@ class FragmentShard
 
         ShardWork work;
         work.block = b;
+        const BlockEdgesView slice = graph.blockEdges(b, sliceScratch_);
         for (VertexId v = graph.blockBegin(b); v < graph.blockEnd(b);
              v++) {
             auto acc = program.identity();
@@ -136,7 +140,7 @@ class FragmentShard
                  e++) {
                 acc = program.combine(
                     acc, program.edgeTerm(old, edgeValues_[e - eBegin],
-                                          graph.edgeWeight(e)));
+                                          slice.wgt[e - slice.base]));
             }
             const Value next = program.apply(v, acc, old, graph);
             const double d = program.delta(old, next);
@@ -162,11 +166,13 @@ class FragmentShard
     EdgeId
     applyMessage(const Msg &msg)
     {
-        const auto positions = graph.scatterPositions(msg.vertex);
+        const auto positions = graph.scatterList(msg.vertex,
+                                                 scatterScratch_);
         auto it = std::lower_bound(positions.begin(), positions.end(),
                                    eBegin);
         EdgeId writes = 0;
         double edge_delta = 0.0;
+        BlockId hint = bBegin;
         for (; it != positions.end() && *it < eEnd; ++it) {
             const EdgeId pos = *it;
             if (writes == 0) {
@@ -176,7 +182,7 @@ class FragmentShard
                     program.delta(edgeValues_[pos - eBegin], msg.value);
             }
             edgeValues_[pos - eBegin] = msg.value;
-            sched->activate(graph.blockOf(graph.edgeDst(pos)) - bBegin,
+            sched->activate(graph.dstBlockOfEdge(pos, hint) - bBegin,
                             edge_delta);
             writes++;
         }
@@ -255,7 +261,7 @@ class FragmentShard
     void
     scatter(VertexId v, const Value &next, ShardWork &work)
     {
-        const auto positions = graph.scatterPositions(v);
+        const auto positions = graph.scatterList(v, scatterScratch_);
         if (positions.empty())
             return;
         const Value ev = program.edgeValue(v, next, graph);
@@ -265,6 +271,7 @@ class FragmentShard
         FragmentId last_owner = self;
         bool have_local_delta = false;
         double edge_delta = 0.0;
+        BlockId hint = bBegin;
         for (const EdgeId pos : positions) {
             if (pos >= eBegin && pos < eEnd) {
                 if (!have_local_delta) {
@@ -274,7 +281,7 @@ class FragmentShard
                 }
                 edgeValues_[pos - eBegin] = ev;
                 sched->activate(
-                    graph.blockOf(graph.edgeDst(pos)) - bBegin,
+                    graph.dstBlockOfEdge(pos, hint) - bBegin,
                     edge_delta);
                 work.scatterWrites++;
                 continue;
@@ -302,6 +309,11 @@ class FragmentShard
     std::vector<Value> edgeValues_;  //!< slice copies, pos - eBegin
     std::unique_ptr<BlockScheduler> sched;
     std::vector<Outbox> outboxes;    //!< per destination fragment
+
+    // Layout decode buffers.  Safe as members: at most one runner
+    // drives a shard at a time (the claim-flag contract above).
+    EdgeSliceScratch sliceScratch_;
+    ScatterScratch scatterScratch_;
 };
 
 } // namespace graphabcd

@@ -1,0 +1,76 @@
+#include "graph/permutation.hh"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace graphabcd {
+
+VertexPermutation::VertexPermutation(std::vector<VertexId> to_internal)
+    : toInternal_(std::move(to_internal))
+{
+    identity_ = true;
+    for (VertexId v = 0; v < toInternal_.size(); v++) {
+        if (toInternal_[v] != v) {
+            identity_ = false;
+            break;
+        }
+    }
+    if (identity_) {
+        toInternal_.clear();
+        return;
+    }
+    toOriginal_.assign(toInternal_.size(), invalidVertex);
+    for (VertexId v = 0; v < toInternal_.size(); v++) {
+        assert(toInternal_[v] < toOriginal_.size());
+        assert(toOriginal_[toInternal_[v]] == invalidVertex &&
+               "permutation is not a bijection");
+        toOriginal_[toInternal_[v]] = v;
+    }
+}
+
+VertexPermutation
+VertexPermutation::hubCluster(const EdgeList &el)
+{
+    const VertexId n = el.numVertices();
+    const auto out_deg = el.outDegrees();
+    const auto in_deg = el.inDegrees();
+
+    // Bucket by the log2 of the total degree so hubs of similar weight
+    // cluster together while the stable sort preserves input order
+    // within a bucket (keeps locality the input already had).
+    std::vector<std::uint32_t> bucket(n);
+    for (VertexId v = 0; v < n; v++) {
+        const std::uint64_t deg =
+            static_cast<std::uint64_t>(out_deg[v]) + in_deg[v];
+        bucket[v] = std::bit_width(deg + 1);
+    }
+
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                         return bucket[a] > bucket[b];
+                     });
+
+    // order[i] is the original id placed at internal slot i; invert to
+    // the original -> internal direction the ctor expects.
+    std::vector<VertexId> to_internal(n);
+    for (VertexId i = 0; i < n; i++)
+        to_internal[order[i]] = i;
+    return VertexPermutation(std::move(to_internal));
+}
+
+EdgeList
+VertexPermutation::apply(const EdgeList &el) const
+{
+    if (identity_)
+        return el;
+    assert(el.numVertices() == toInternal_.size());
+    EdgeList out(el.numVertices());
+    for (const Edge &e : el.edges())
+        out.addEdge(toInternal_[e.src], toInternal_[e.dst], e.weight);
+    return out;
+}
+
+} // namespace graphabcd

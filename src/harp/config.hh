@@ -116,11 +116,20 @@ struct HarpConfig
     std::uint32_t peOutputBufBytes = 8 * 1024;
     std::uint32_t scratchpadBytes = 64 * 1024;  //!< reduction tag store
 
-    /** Bytes of one streamed edge record: src id + weight + value. */
-    std::uint32_t
+    // ------------------------------------------------- graph layout
+    /**
+     * Topology bytes streamed per edge (src id + weight).  8.0 is the
+     * plain CSC record; serve sets it from the partition's measured
+     * BlockPartition::gatherBytesPerEdge() so the simulated DMA traffic
+     * tracks the real layout (compressed layouts land well under 8).
+     */
+    double layoutBytesPerEdge = 8.0;
+
+    /** Bytes of one streamed edge record: topology + value. */
+    double
     edgeRecordBytes(std::uint32_t value_bytes) const
     {
-        return 4 + 4 + value_bytes;
+        return layoutBytesPerEdge + value_bytes;
     }
 
     /** Seconds a PE needs to compute `edges` (reduction-pipeline rate). */

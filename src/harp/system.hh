@@ -309,8 +309,9 @@ class HarpSystem
             // write-back of the new vertex block.
             const auto vbytes =
                 static_cast<std::uint32_t>(sizeof(Value));
-            const std::uint64_t in_bytes =
-                graph.blockEdgeCount(b) * cfg.edgeRecordBytes(vbytes) +
+            const std::uint64_t in_bytes = static_cast<std::uint64_t>(
+                static_cast<double>(graph.blockEdgeCount(b)) *
+                    cfg.edgeRecordBytes(vbytes)) +
                 graph.blockVertexCount(b) * vbytes;
             const std::uint64_t out_bytes =
                 graph.blockVertexCount(b) * vbytes;

@@ -21,6 +21,11 @@ graphFingerprint(const std::string &name, const BlockPartition &g)
     fp.mix(static_cast<std::uint64_t>(g.numEdges()));
     fp.mix(static_cast<std::uint64_t>(g.numBlocks()));
     fp.mix(static_cast<std::uint64_t>(g.blockSize()));
+    // Physical layout changes nothing logical, but a hub reorder
+    // changes the internal id space results are computed in — tag both
+    // so cached results never alias across layouts of one graph.
+    fp.mix(static_cast<std::uint64_t>(g.layout()));
+    fp.mix(static_cast<std::uint64_t>(g.reorder()));
     const EdgeId n = g.numEdges();
     const EdgeId stride = std::max<EdgeId>(1, n / 64);
     for (EdgeId e = 0; e < n; e += stride) {
@@ -35,12 +40,13 @@ graphFingerprint(const std::string &name, const BlockPartition &g)
 
 std::shared_ptr<const BlockPartition>
 GraphRegistry::add(const std::string &name, const EdgeList &el,
-                   VertexId block_size)
+                   VertexId block_size, LayoutOptions lo)
 {
     // Build outside the lock: partitioning a large graph must not
     // stall lookups for running jobs.
     return add(name, std::make_shared<const BlockPartition>(el,
-                                                            block_size));
+                                                            block_size,
+                                                            lo));
 }
 
 std::shared_ptr<const BlockPartition>

@@ -52,10 +52,14 @@ class GraphRegistry
      * Partition `el` and register it under `name`, replacing any
      * previous binding (jobs running on the old graph keep their
      * handle).
+     * @param lo physical layout / vertex-reorder options; both are
+     *        mixed into the fingerprint so cached results never alias
+     *        across layouts of the same graph.
      * @return the new shared partition.
      */
     std::shared_ptr<const BlockPartition>
-    add(const std::string &name, const EdgeList &el, VertexId block_size);
+    add(const std::string &name, const EdgeList &el, VertexId block_size,
+        LayoutOptions lo = {});
 
     /** Register an already-built partition under `name`. */
     std::shared_ptr<const BlockPartition>

@@ -55,7 +55,12 @@ runWith(const BlockPartition &g, Program program, const JobRequest &req)
         FragmentEngine<Program> engine(g, program, req.options);
         out.report = engine.run(out.values);
     } else if (req.engine == "sim") {
-        HarpSystem<Program> system(g, program, req.options, HarpConfig{});
+        HarpConfig cfg;
+        // Simulated DMA traffic tracks the real layout: a compressed
+        // partition streams measurably fewer topology bytes per edge
+        // than the plain 8-byte CSC record.
+        cfg.layoutBytesPerEdge = g.gatherBytesPerEdge();
+        HarpSystem<Program> system(g, program, req.options, cfg);
         out.report = fromSimReport(system.run(out.values));
     } else {
         out.error = "unknown engine '" + req.engine + "'";
@@ -99,6 +104,18 @@ algoUsesSource(const std::string &algo)
     return algo == "sssp" || algo == "bfs" || algo == "ppr";
 }
 
+/**
+ * Algorithms whose per-vertex values are themselves vertex ids (cc
+ * component representatives, lp community labels).  Under a reorder
+ * the engine computes labels in internal ids; the boundary translates
+ * them so callers see original ids end to end.
+ */
+bool
+algoValuesAreVertexIds(const std::string &algo)
+{
+    return algo == "cc" || algo == "lp";
+}
+
 } // namespace
 
 RunOutcome
@@ -108,29 +125,80 @@ runAnalyticsJob(const BlockPartition &g, const JobRequest &req,
     // The pool is an execution resource, not a semantic option, so it
     // is injected here (per call) rather than fingerprinted.
     const JobRequest *effective = &req;
-    JobRequest with_pool;
-    if (executor && !req.options.executor) {
-        with_pool = req;
-        with_pool.options.executor = std::move(executor);
-        effective = &with_pool;
+    JobRequest adjusted;
+    auto mutableReq = [&]() -> JobRequest & {
+        if (effective != &adjusted) {
+            adjusted = req;
+            effective = &adjusted;
+        }
+        return adjusted;
+    };
+    if (executor && !req.options.executor)
+        mutableReq().options.executor = std::move(executor);
+
+    // Permutation boundary (DESIGN.md §11): engines run in the
+    // reordered internal id space, while requests and results speak
+    // original ids.  Translate the source vertex and warm-start vector
+    // on the way in and un-permute the values on the way out, so the
+    // reorder is invisible to every caller (and to the ResultCache,
+    // which stores original-id vectors).
+    const VertexPermutation &perm = g.permutation();
+    if (!perm.isIdentity()) {
+        if (algoUsesSource(req.algo) && req.source < g.numVertices())
+            mutableReq().source = perm.toInternal(req.source);
+        if (req.options.warmStart &&
+            req.options.warmStart->size() == g.numVertices()) {
+            std::vector<double> warm =
+                perm.valuesToInternal(*req.options.warmStart);
+            // Id-valued warm starts carry original-id labels; the
+            // engine expects internal ones.
+            if (algoValuesAreVertexIds(req.algo)) {
+                for (double &x : warm) {
+                    const auto label = static_cast<VertexId>(x);
+                    if (label < g.numVertices())
+                        x = static_cast<double>(perm.toInternal(label));
+                }
+            }
+            mutableReq().options.warmStart =
+                std::make_shared<const std::vector<double>>(
+                    std::move(warm));
+        }
     }
+
     const JobRequest &r = *effective;
-    if (r.engine == "accum")
-        return runAccumJob(g, r);
-    if (r.algo == "pr")
-        return runWith(g, PageRankProgram(), r);
-    if (r.algo == "ppr")
-        return runWith(g, PersonalizedPageRankProgram(r.source), r);
-    if (r.algo == "sssp")
-        return runWith(g, SsspProgram(r.source), r);
-    if (r.algo == "bfs")
-        return runWith(g, BfsProgram(r.source), r);
-    if (r.algo == "cc")
-        return runWith(g, CcProgram(), r);
-    if (r.algo == "lp")
-        return runWith(g, LabelPropagationProgram(), r);
     RunOutcome out;
-    out.error = "unknown algorithm '" + r.algo + "'";
+    if (r.engine == "accum")
+        out = runAccumJob(g, r);
+    else if (r.algo == "pr")
+        out = runWith(g, PageRankProgram(), r);
+    else if (r.algo == "ppr")
+        out = runWith(g, PersonalizedPageRankProgram(r.source), r);
+    else if (r.algo == "sssp")
+        out = runWith(g, SsspProgram(r.source), r);
+    else if (r.algo == "bfs")
+        out = runWith(g, BfsProgram(r.source), r);
+    else if (r.algo == "cc")
+        out = runWith(g, CcProgram(), r);
+    else if (r.algo == "lp")
+        out = runWith(g, LabelPropagationProgram(), r);
+    else
+        out.error = "unknown algorithm '" + r.algo + "'";
+
+    if (!perm.isIdentity() && out.values.size() == g.numVertices()) {
+        out.values = perm.valuesToOriginal(out.values);
+        // cc/lp labels are vertex ids themselves, so the *values* need
+        // the same translation as the positions.  The representative a
+        // component gets is whichever member the reorder placed first —
+        // consistent within a run, but not necessarily the minimum
+        // original id.
+        if (algoValuesAreVertexIds(req.algo)) {
+            for (double &x : out.values) {
+                const auto label = static_cast<VertexId>(x);
+                if (label < g.numVertices())
+                    x = static_cast<double>(perm.toOriginal(label));
+            }
+        }
+    }
     return out;
 }
 

@@ -48,6 +48,9 @@ struct RunOutcome
  * Execute `req` against `g` synchronously on the calling thread.  The
  * engine honours req.options.stop / progress / warmStart.  Unsupported
  * algo/engine combinations return an error outcome (never throw).
+ * When `g` was built with a vertex reorder, req.source / warmStart and
+ * the returned values are translated at this boundary: callers always
+ * speak original vertex ids (DESIGN.md §11).
  * @param executor pool the threaded engine draws workers from; null
  *        keeps req.options.executor (itself defaulting to the
  *        process-wide pool).

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "algorithms/extras.hh"
 #include "algorithms/label_propagation.hh"
@@ -56,8 +57,22 @@ dumpValues(const BlockPartition &g, const std::vector<Value> &values,
         fatal("cannot open '", cli.dump, "'");
     ofs << "# vertex " << value_name << '\n';
     if constexpr (std::is_arithmetic_v<Value>) {
+        // Un-permute so the dump is keyed by original vertex ids
+        // regardless of --reorder (DESIGN.md §11).  cc/lp labels are
+        // vertex ids themselves, so their values translate too.
+        std::vector<Value> out =
+            g.permutation().valuesToOriginal(values);
+        const std::string_view name(value_name);
+        if (name == "component" || name == "community") {
+            for (Value &x : out) {
+                const auto label = static_cast<VertexId>(x);
+                if (label < g.numVertices())
+                    x = static_cast<Value>(
+                        g.permutation().toOriginal(label));
+            }
+        }
         for (VertexId v = 0; v < g.numVertices(); v++)
-            ofs << v << ' ' << values[v] << '\n';
+            ofs << v << ' ' << out[v] << '\n';
     }
     std::printf("wrote %u values to %s\n", g.numVertices(),
                 cli.dump.c_str());
@@ -141,11 +156,15 @@ main(int argc, char **argv)
     Flags flags;
     flags.declare("algo", "pr",
                   "pr | ppr | sssp | bfs | cc | lp | kcore | color");
-    flags.declare("graph", "", "edge-list file (.el text or .bin)");
+    flags.declare("graph", "",
+                  "edge-list file (.el text, .bin, or packed .abcz)");
     flags.declare("dataset", "", "named stand-in (WT PS LJ TW ...)");
     flags.declareDouble("scale", 1.0, "dataset scale factor");
     flags.declare("engine", "serial", "serial | async | accum | sim");
     flags.declareInt("block-size", 512, "vertices per block");
+    flags.declare("layout", "plain",
+                  "physical layout: plain | compressed");
+    flags.declare("reorder", "none", "vertex order: none | hub");
     flags.declare("schedule", "cyclic",
                   "cyclic | priority | random | obim");
     flags.declareInt("threads", 4, "async engine worker threads");
@@ -166,10 +185,14 @@ main(int argc, char **argv)
     EdgeList el;
     if (!flags.get("graph").empty()) {
         const std::string &path = flags.get("graph");
-        el = path.size() > 4 &&
-                 path.compare(path.size() - 4, 4, ".bin") == 0
-            ? loadEdgeListBinary(path)
-            : loadEdgeList(path);
+        if (path.size() > 5 &&
+            path.compare(path.size() - 5, 5, ".abcz") == 0)
+            el = loadEdgeListPacked(path);
+        else if (path.size() > 4 &&
+                 path.compare(path.size() - 4, 4, ".bin") == 0)
+            el = loadEdgeListBinary(path);
+        else
+            el = loadEdgeList(path);
     } else if (!flags.get("dataset").empty()) {
         el = makeDataset(flags.get("dataset"), flags.getDouble("scale"),
                          static_cast<std::uint64_t>(flags.getInt("seed")))
@@ -210,7 +233,28 @@ main(int argc, char **argv)
     cli.harp.numPes = static_cast<std::uint32_t>(flags.getInt("pes"));
     cli.harp.hybrid = flags.getBool("hybrid");
 
-    BlockPartition g(el, cli.opt.blockSize);
+    LayoutOptions lo;
+    if (auto l = parseGraphLayout(flags.get("layout")))
+        lo.layout = *l;
+    else
+        fatal("unknown --layout '", flags.get("layout"),
+              "' (plain | compressed)");
+    if (auto r = parseVertexReorder(flags.get("reorder")))
+        lo.reorder = *r;
+    else
+        fatal("unknown --reorder '", flags.get("reorder"),
+              "' (none | hub)");
+
+    BlockPartition g(el, cli.opt.blockSize, lo);
+    // The simulated DMA stream must reflect the built layout's
+    // measured topology bytes per edge.
+    cli.harp.layoutBytesPerEdge = g.gatherBytesPerEdge();
+    if (lo.layout != GraphLayout::Plain ||
+        lo.reorder != VertexReorder::None) {
+        std::printf("layout: %s reorder=%s (%.2f topology B/edge)\n",
+                    to_string(g.layout()), to_string(g.reorder()),
+                    g.gatherBytesPerEdge());
+    }
 
     VertexId source;
     if (flags.getInt("source") >= 0) {
@@ -220,6 +264,9 @@ main(int argc, char **argv)
         source = static_cast<VertexId>(
             std::max_element(deg.begin(), deg.end()) - deg.begin());
     }
+    // Engines run in internal (reordered) ids; --source and the
+    // max-degree pick above are original ids (DESIGN.md §11).
+    source = g.permutation().toInternal(source);
 
     if (cli.engine == "accum") {
         if (algo == "pr")

@@ -6,7 +6,8 @@
  * the service.
  *
  *   LOAD <name> <dataset-key-or-file> [scale=F] [block-size=N]
- *        [undirected=0|1] [seed=N]
+ *        [undirected=0|1] [seed=N] [layout=plain|compressed]
+ *        [reorder=none|hub]
  *   RUN <graph> <algo> [engine=serial|async|fragment|accum|sim]
  *       [source=N] [priority=F] [timeout=F] [tolerance=F]
  *       [schedule=cyclic|priority|random|obim]
@@ -186,10 +187,14 @@ class ServeShell
             EdgeList el;
             if (src.find('.') != std::string::npos ||
                 src.find('/') != std::string::npos) {
-                el = src.size() > 4 &&
-                         src.compare(src.size() - 4, 4, ".bin") == 0
-                    ? loadEdgeListBinary(src)
-                    : loadEdgeList(src);
+                if (src.size() > 5 &&
+                    src.compare(src.size() - 5, 5, ".abcz") == 0)
+                    el = loadEdgeListPacked(src);
+                else if (src.size() > 4 &&
+                         src.compare(src.size() - 4, 4, ".bin") == 0)
+                    el = loadEdgeListBinary(src);
+                else
+                    el = loadEdgeList(src);
             } else {
                 el = makeDataset(src, param(params, "scale", 1.0),
                                  static_cast<std::uint64_t>(
@@ -200,12 +205,35 @@ class ServeShell
                 el = el.symmetrized();
             const auto block_size = static_cast<VertexId>(
                 param(params, "block-size", 512.0));
-            auto g = registry_.add(name, el, block_size);
+            LayoutOptions lo;
+            const std::string layout =
+                param(params, "layout", std::string("plain"));
+            const std::string reorder =
+                param(params, "reorder", std::string("none"));
+            if (auto l = parseGraphLayout(layout)) {
+                lo.layout = *l;
+            } else {
+                std::printf("ERR BadCommand unknown layout '%s' "
+                            "(plain|compressed)\n",
+                            layout.c_str());
+                return;
+            }
+            if (auto r = parseVertexReorder(reorder)) {
+                lo.reorder = *r;
+            } else {
+                std::printf("ERR BadCommand unknown reorder '%s' "
+                            "(none|hub)\n",
+                            reorder.c_str());
+                return;
+            }
+            auto g = registry_.add(name, el, block_size, lo);
             std::printf(
-                "OK graph %s vertices=%u edges=%llu blocks=%u\n",
+                "OK graph %s vertices=%u edges=%llu blocks=%u "
+                "layout=%s reorder=%s\n",
                 name.c_str(), g->numVertices(),
                 static_cast<unsigned long long>(g->numEdges()),
-                g->numBlocks());
+                g->numBlocks(), to_string(g->layout()),
+                to_string(g->reorder()));
         } catch (const std::exception &e) {
             std::printf("ERR LoadFailed %s\n", e.what());
         }

@@ -31,6 +31,26 @@ run_preset() {
     # iteration count keeps plain ctest fast; under TSan, rerun the
     # cancel-storm stress heavier so the race detector sees many
     # claim/flush/drain interleavings per CI run.
+    # The varint/delta codec and the compressed-layout decode loops are
+    # pointer-walking code over packed byte streams — exactly what ASan
+    # is for.  Rerun the codec tests with the randomized round-trip
+    # count cranked up so each CI run covers many adversarial streams.
+    if [ "${preset}" = "asan" ]; then
+        echo "== codec fuzz (${preset}) =="
+        GRAPHABCD_CODEC_FUZZ_ITERS=2000 \
+            "./build-asan/tests/abcd_tests" \
+            --gtest_filter='Codec*'
+    fi
+
+    # The obs-off build must still compile and pass the compressed
+    # layout paths (the bytes-moved tallies are plain atomics, not obs
+    # instrumentation, so they work in both builds).
+    if [ "${preset}" = "obsoff" ]; then
+        echo "== layout equivalence (${preset}) =="
+        "./build-obsoff/tests/abcd_tests" \
+            --gtest_filter='Layout*:Codec*'
+    fi
+
     if [ "${preset}" = "tsan" ]; then
         echo "== fragment stress (${preset}) =="
         GRAPHABCD_FRAGMENT_STRESS_ITERS=24 \
