@@ -18,10 +18,24 @@
  * Prints per-config: jobs/sec, cache hit rate, rejection count, peak
  * threads; also writes every row to BENCH_serve.json so later changes
  * can track the perf trajectory.
+ *
+ * The run ends with a multi-tenant QoS stress: four tenants with 4:2:1:1
+ * fair-share weights, where the weight-1 "free" tenant offers ~4x the
+ * load of the equal-weight "bronze" tenant (4 client threads vs 1) and
+ * a slice of its submissions carries a deadline far tighter than the
+ * queue wait.  The FairShareQueue must hold each backlogged tenant's
+ * completed-work share near weight/sum(weights) regardless of offered
+ * load (the fairness numbers land in BENCH_serve.json), displace the
+ * over-share flood's newest work first under queue pressure (terminal
+ * "shed" status, fail-fast), and shed the deadline-doomed submissions
+ * at admission.
  */
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <random>
 #include <string>
@@ -194,8 +208,194 @@ runConfig(GraphRegistry &registry, std::uint32_t clients,
     return row;
 }
 
+// ---------------------------------------------------------------------
+// Multi-tenant QoS stress
+// ---------------------------------------------------------------------
+
+/** One tenant of the stress mix. */
+struct TenantSpec
+{
+    const char *name;
+    double weight;
+    std::uint32_t clients;    //!< offered-load knob (threads)
+    double deadlineFrac;      //!< slice of submissions with a deadline
+                              //!< far tighter than the queue wait
+};
+
+/**
+ * gold:silver:bronze = 4:2:1 at equal offered load; free matches
+ * bronze's weight but offers ~4x its load (and a slice of doomed
+ * deadlines), so fairness — not arrival order — must set the shares.
+ */
+const TenantSpec kTenantMix[] = {
+    {"gold", 4.0, 1, 0.0},
+    {"silver", 2.0, 1, 0.0},
+    {"bronze", 1.0, 1, 0.0},
+    {"free", 1.0, 4, 0.05},
+};
+
+/** Per-tenant outcome of the stress, serialised to JSON. */
+struct QosRow
+{
+    std::string tenant;
+    double weight = 0.0;
+    std::uint32_t clients = 0;
+    TenantServeStats stats;
+    double share = 0.0;    //!< completed / total completed
+    double target = 0.0;   //!< weight / sum(weights)
+    double err = 0.0;      //!< |share - target| / target
+};
+
+struct QosSummary
+{
+    double seconds = 0.0;
+    std::uint32_t workers = 0;
+    std::size_t queueCapacity = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t shedAdmission = 0;
+    double maxErr = 0.0;
+    std::vector<QosRow> rows;
+};
+
+/**
+ * One stress client: flood the service with small uncacheable pr jobs
+ * for this tenant, keeping up to `window` in flight (waiting the
+ * oldest out when the window is full).  Shed submissions fail fast —
+ * no wait, no retry — which is the point of shedding.
+ */
 void
-writeJson(const std::vector<ConfigResult> &rows, const std::string &path)
+runQosClient(JobManager &manager, const TenantSpec &spec,
+             std::uint32_t seed, const std::atomic<bool> &stop)
+{
+    constexpr std::size_t kWindow = 48;
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::deque<JobId> window;
+    while (!stop.load(std::memory_order_acquire)) {
+        JobRequest req;
+        req.graph = "tiny";
+        req.algo = "pr";
+        req.engine = "serial";
+        req.tenant = spec.name;
+        req.allowCached = false;
+        req.allowWarmStart = false;
+        req.options.tolerance = 1e-5;
+        req.options.numThreads = 1;
+        if (spec.deadlineFrac > 0.0 && coin(rng) < spec.deadlineFrac)
+            req.timeoutSeconds = 0.02;
+        const JobManager::Submitted sub = manager.submit(req);
+        if (sub.ok()) {
+            window.push_back(sub.id);
+        } else if (sub.error == SubmitError::QueueFull) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        // SubmitError::Shed falls through with no sleep: the client
+        // learnt instantly that the job was doomed.
+        while (window.size() >= kWindow) {
+            manager.wait(window.front(), 5.0);
+            window.pop_front();
+        }
+    }
+    for (const JobId id : window)
+        manager.cancel(id);
+}
+
+QosSummary
+runQosStress(GraphRegistry &registry, double seconds,
+             std::uint32_t workers, std::size_t queue_capacity)
+{
+    ServeConfig cfg;
+    cfg.workers = workers;
+    cfg.queueCapacity = queue_capacity;
+    cfg.cacheCapacity = 8;
+    cfg.maxRetainedJobs = 4 * queue_capacity;
+    cfg.shedOnDeadline = true;
+    for (const TenantSpec &spec : kTenantMix)
+        cfg.tenantQos[spec.name] = TenantQos{spec.weight, 0, 0};
+    JobManager manager(registry, cfg);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    std::uint32_t seed = 7000;
+    for (const TenantSpec &spec : kTenantMix) {
+        for (std::uint32_t c = 0; c < spec.clients; c++) {
+            clients.emplace_back([&manager, &spec, &stop, seed] {
+                runQosClient(manager, spec, seed, stop);
+            });
+            seed++;
+        }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    // Snapshot while the offered load is still running, so the window
+    // measures steady-state fairness, not drain-out.
+    const auto per_tenant = manager.tenantStats();
+    const ServeStats global = manager.stats();
+    stop.store(true, std::memory_order_release);
+    for (auto &t : clients)
+        t.join();
+    manager.shutdown();
+
+    double total_weight = 0.0;
+    std::uint64_t total_completed = 0;
+    for (const TenantSpec &spec : kTenantMix) {
+        total_weight += spec.weight;
+        auto it = per_tenant.find(spec.name);
+        if (it != per_tenant.end())
+            total_completed += it->second.completed;
+    }
+
+    QosSummary out;
+    out.seconds = seconds;
+    out.workers = workers;
+    out.queueCapacity = queue_capacity;
+    out.submitted = global.submitted;
+    out.completed = total_completed;
+    out.shed = global.shed;
+    out.shedAdmission = global.shedAdmission;
+    for (const TenantSpec &spec : kTenantMix) {
+        QosRow row;
+        row.tenant = spec.name;
+        row.weight = spec.weight;
+        row.clients = spec.clients;
+        auto it = per_tenant.find(spec.name);
+        if (it != per_tenant.end())
+            row.stats = it->second;
+        row.share = total_completed > 0
+                        ? static_cast<double>(row.stats.completed) /
+                              static_cast<double>(total_completed)
+                        : 0.0;
+        row.target = spec.weight / total_weight;
+        row.err = std::abs(row.share - row.target) / row.target;
+        out.maxErr = std::max(out.maxErr, row.err);
+        std::printf(
+            "qos tenant=%-6s weight=%.0f clients=%u | submitted=%llu "
+            "completed=%llu shed=%llu shedadm=%llu rejected=%llu | "
+            "share=%.3f target=%.3f err=%.1f%%\n",
+            row.tenant.c_str(), row.weight, row.clients,
+            static_cast<unsigned long long>(row.stats.submitted),
+            static_cast<unsigned long long>(row.stats.completed),
+            static_cast<unsigned long long>(row.stats.shed),
+            static_cast<unsigned long long>(row.stats.shedAdmission),
+            static_cast<unsigned long long>(row.stats.rejected),
+            row.share, row.target, 100.0 * row.err);
+        out.rows.push_back(std::move(row));
+    }
+    std::printf("qos total: submitted=%llu completed=%llu shed=%llu "
+                "shedadm=%llu max_err=%.1f%%\n",
+                static_cast<unsigned long long>(out.submitted),
+                static_cast<unsigned long long>(out.completed),
+                static_cast<unsigned long long>(out.shed),
+                static_cast<unsigned long long>(out.shedAdmission),
+                100.0 * out.maxErr);
+    std::fflush(stdout);
+    return out;
+}
+
+void
+writeJson(const std::vector<ConfigResult> &rows, const QosSummary &qos,
+          const std::string &path)
 {
     std::ofstream ofs(path);
     ofs << "{\n  \"benchmark\": \"serve_throughput\",\n  \"rows\": [\n";
@@ -211,8 +411,36 @@ writeJson(const std::vector<ConfigResult> &rows, const std::string &path)
             << ", \"peak_threads\": " << r.peakThreads << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    ofs << "  ]\n}\n";
-    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+    ofs << "  ],\n";
+    ofs << "  \"qos_stress\": {\n"
+        << "    \"seconds\": " << qos.seconds
+        << ", \"workers\": " << qos.workers
+        << ", \"queue_capacity\": " << qos.queueCapacity
+        << ", \"submitted\": " << qos.submitted
+        << ", \"completed\": " << qos.completed
+        << ", \"shed\": " << qos.shed
+        << ", \"shed_admission\": " << qos.shedAdmission
+        << ", \"max_share_err\": " << qos.maxErr << ",\n"
+        << "    \"tenants\": [\n";
+    for (std::size_t i = 0; i < qos.rows.size(); i++) {
+        const QosRow &r = qos.rows[i];
+        ofs << "      {\"tenant\": \"" << r.tenant
+            << "\", \"weight\": " << r.weight
+            << ", \"clients\": " << r.clients
+            << ", \"submitted\": " << r.stats.submitted
+            << ", \"completed\": " << r.stats.completed
+            << ", \"shed\": " << r.stats.shed
+            << ", \"shed_admission\": " << r.stats.shedAdmission
+            << ", \"rejected\": " << r.stats.rejected
+            << ", \"cancelled\": " << r.stats.cancelled
+            << ", \"share\": " << r.share
+            << ", \"target\": " << r.target
+            << ", \"err\": " << r.err << "}"
+            << (i + 1 < qos.rows.size() ? "," : "") << "\n";
+    }
+    ofs << "    ]\n  }\n}\n";
+    std::printf("wrote %s (%zu rows + qos stress)\n", path.c_str(),
+                rows.size());
 }
 
 } // namespace
@@ -231,6 +459,13 @@ main(int argc, char **argv)
     flags.declareInt("sample-ms", 0,
                      "run the background metrics sampler at this "
                      "interval (0 = off); used to bound its overhead");
+    flags.declareDouble("qos-seconds", 3.0,
+                        "duration of the multi-tenant QoS stress "
+                        "(0 = skip it)");
+    flags.declareInt("qos-workers", 2,
+                     "service workers during the QoS stress");
+    flags.declareInt("qos-queue", 192,
+                     "admission queue capacity during the QoS stress");
     if (!flags.parse(argc, argv))
         return 0;
     const double scale = flags.getDouble("scale");
@@ -252,6 +487,9 @@ main(int argc, char **argv)
     GraphRegistry registry;
     registry.add("web", makeDataset("WT", scale).graph, 512);
     registry.add("road", makeDataset("PS", scale).graph, 512);
+    // The QoS stress wants jobs cheap enough that thousands complete
+    // in a few seconds — fairness is about counts, not engine speed.
+    registry.add("tiny", makeDataset("WT", 0.02).graph, 256);
     std::printf("serve_throughput: scale=%.2f jobs/client=%llu "
                 "sample-ms=%lld\n",
                 scale, static_cast<unsigned long long>(jobs),
@@ -276,7 +514,16 @@ main(int argc, char **argv)
                                  /*workers=*/std::max(4u, clients), jobs,
                                  /*cached=*/false, "async",
                                  async_threads));
-    writeJson(rows, flags.get("json"));
+
+    QosSummary qos;
+    const double qos_seconds = flags.getDouble("qos-seconds");
+    if (qos_seconds > 0.0) {
+        qos = runQosStress(
+            registry, qos_seconds,
+            static_cast<std::uint32_t>(flags.getInt("qos-workers")),
+            static_cast<std::size_t>(flags.getInt("qos-queue")));
+    }
+    writeJson(rows, qos, flags.get("json"));
     if (sample_ms > 0)
         obs::stopSampler();
     return 0;

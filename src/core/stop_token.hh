@@ -12,6 +12,14 @@
  *    keeps the hot loop branch-predictable: one relaxed atomic load and
  *    (only when a deadline is armed) one steady_clock read.
  *
+ *    Because both causes fire through the same stopRequested() answer,
+ *    the channel also records *when* the first requestStop() happened
+ *    (steady-clock seconds), so a finisher can attribute the halt to
+ *    the cancel or to the deadline by which instant came first —
+ *    requestStopAtSeconds() and deadlineAtSeconds() are on the same
+ *    raw steady_clock scale (NOT monotonicSeconds(), whose epoch is
+ *    process-local).
+ *
  *  - a Progress sink of relaxed atomic counters the engine publishes
  *    into as it works, so JobStatus snapshots are readable from any
  *    thread while the run is in flight, without locks on the data path.
@@ -31,6 +39,30 @@
 
 namespace graphabcd {
 
+namespace detail {
+
+/**
+ * Shared state of a cancellation channel: the sticky stop flag plus the
+ * steady-clock instant of the first requestStop() (0 = never), so halt
+ * causes can be attributed after the fact.
+ */
+struct StopState
+{
+    std::atomic<bool> stop{false};
+    std::atomic<double> requestedAt{0.0};
+};
+
+/** Seconds since the (arbitrary) steady_clock epoch. */
+inline double
+steadyNowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace detail
+
 /**
  * View side of a cancellation channel.  Copyable and cheap; safe to
  * poll from any thread.  A default-constructed token never requests a
@@ -45,14 +77,14 @@ class StopToken
     bool
     stopPossible() const
     {
-        return flag_ != nullptr || hasDeadline();
+        return state_ != nullptr || hasDeadline();
     }
 
     /** @return whether the run should end now (cancel or deadline). */
     bool
     stopRequested() const
     {
-        if (flag_ && flag_->load(std::memory_order_acquire))
+        if (state_ && state_->stop.load(std::memory_order_acquire))
             return true;
         return hasDeadline() && Clock::now() >= deadline_;
     }
@@ -62,6 +94,21 @@ class StopToken
     deadlineExpired() const
     {
         return hasDeadline() && Clock::now() >= deadline_;
+    }
+
+    /**
+     * @return the armed deadline as seconds since the steady_clock
+     * epoch (comparable to StopSource::requestStopAtSeconds()), or
+     * 0.0 when no deadline is armed.
+     */
+    double
+    deadlineAtSeconds() const
+    {
+        if (!hasDeadline())
+            return 0.0;
+        return std::chrono::duration<double>(
+                   deadline_.time_since_epoch())
+            .count();
     }
 
     /**
@@ -83,8 +130,8 @@ class StopToken
 
     using Clock = std::chrono::steady_clock;
 
-    explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag)
-        : flag_(std::move(flag))
+    explicit StopToken(std::shared_ptr<const detail::StopState> state)
+        : state_(std::move(state))
     {
     }
 
@@ -94,7 +141,7 @@ class StopToken
         return deadline_ != Clock::time_point::max();
     }
 
-    std::shared_ptr<const std::atomic<bool>> flag_;
+    std::shared_ptr<const detail::StopState> state_;
     Clock::time_point deadline_ = Clock::time_point::max();
 };
 
@@ -105,25 +152,43 @@ class StopToken
 class StopSource
 {
   public:
-    StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+    StopSource() : state_(std::make_shared<detail::StopState>()) {}
 
     void
     requestStop()
     {
-        flag_->store(true, std::memory_order_release);
+        // Record the first request's instant *before* raising the flag,
+        // so any reader that observes stop==true also observes a
+        // non-zero timestamp (release store orders the pair).
+        double expected = 0.0;
+        state_->requestedAt.compare_exchange_strong(
+            expected, detail::steadyNowSeconds(),
+            std::memory_order_relaxed, std::memory_order_relaxed);
+        state_->stop.store(true, std::memory_order_release);
     }
 
     bool
     stopRequested() const
     {
-        return flag_->load(std::memory_order_acquire);
+        return state_->stop.load(std::memory_order_acquire);
+    }
+
+    /**
+     * @return the steady-clock instant (seconds) of the first
+     * requestStop(), or 0.0 if none happened yet.  Comparable to
+     * StopToken::deadlineAtSeconds(): whichever is smaller fired first.
+     */
+    double
+    requestStopAtSeconds() const
+    {
+        return state_->requestedAt.load(std::memory_order_acquire);
     }
 
     /** @return a token observing this source (no deadline). */
-    StopToken token() const { return StopToken(flag_); }
+    StopToken token() const { return StopToken(state_); }
 
   private:
-    std::shared_ptr<std::atomic<bool>> flag_;
+    std::shared_ptr<detail::StopState> state_;
 };
 
 /**

@@ -5,16 +5,21 @@
  * records.
  *
  * A job is one analytics request — (graph, algorithm, engine, options)
- * — with a priority, an optional deadline, and a lifecycle
+ * — submitted by a *tenant*, with a priority, an optional deadline,
+ * and a lifecycle
  *     Queued -> Running -> Done | Cancelled | Failed
+ *     Queued -> Shed                 (displaced under queue pressure)
  * observable at any time through JobStatus snapshots.  Submissions the
- * admission queue rejects never become jobs at all (backpressure).
+ * admission queue rejects never become jobs at all (backpressure), and
+ * submissions whose deadline is already infeasible are shed at
+ * admission (SubmitError::Shed) so the client fails fast.
  */
 
 #ifndef GRAPHABCD_SERVE_JOB_HH
 #define GRAPHABCD_SERVE_JOB_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "core/engine.hh"
 #include "core/options.hh"
 #include "graph/types.hh"
+#include "serve/qos.hh"
 
 namespace graphabcd {
 
@@ -38,6 +44,7 @@ enum class JobState
     Done,        //!< finished (from an engine run or the result cache)
     Cancelled,   //!< ended by cancel(), deadline, or service shutdown
     Failed,      //!< the request could not be executed
+    Shed,        //!< dropped while Queued to shed fair-share pressure
 };
 
 /** @return human-readable name of a JobState. */
@@ -48,7 +55,7 @@ inline bool
 isTerminal(JobState state)
 {
     return state == JobState::Done || state == JobState::Cancelled ||
-           state == JobState::Failed;
+           state == JobState::Failed || state == JobState::Shed;
 }
 
 /** Why a submission was not admitted. */
@@ -59,6 +66,8 @@ enum class SubmitError
     UnknownGraph,  //!< no such name in the GraphRegistry
     BadRequest,    //!< unsupported algorithm/engine combination
     ShuttingDown,  //!< the service is stopping
+    Shed,          //!< shed at admission: the estimated queue wait
+                   //!< alone would blow the job's deadline
 };
 
 /** @return human-readable name of a SubmitError. */
@@ -70,6 +79,10 @@ struct JobRequest
     std::string graph;            //!< GraphRegistry name
     std::string algo = "pr";      //!< pr | ppr | sssp | bfs | cc | lp
     std::string engine = "serial"; //!< serial | async | sim
+    std::string tenant;           //!< QoS lane; empty = "default".
+                                  //!< Never part of the result identity:
+                                  //!< cache hits and warm starts are
+                                  //!< shared across tenants.
     VertexId source = 0;          //!< sssp / bfs / ppr source vertex
     EngineOptions options;        //!< run knobs (blockSize is taken
                                   //!< from the registered partition)
@@ -91,6 +104,7 @@ struct JobStatus
 {
     JobId id = 0;
     JobState state = JobState::Queued;
+    std::string tenant;
     double priority = 0.0;
 
     // Live work counters (from the engine's Progress sink while
@@ -138,6 +152,20 @@ struct ServeConfig
      * service).  Non-null overrides poolThreads.
      */
     std::shared_ptr<Executor> executor;
+
+    /** Fair-share parameters of tenants not listed in tenantQos. */
+    TenantQos defaultQos;
+
+    /** Per-tenant weight/quota overrides, keyed by tenant name. */
+    std::map<std::string, TenantQos> tenantQos;
+
+    /** Shed-at-admission jobs whose estimated queue wait alone would
+     *  blow their deadline (see FairShareQueue). */
+    bool shedOnDeadline = true;
+
+    /** Seed for the deadline-shed service-time estimate; 0 disables
+     *  shedding until the first measured run. */
+    double initialServiceEstimateSeconds = 0.0;
 };
 
 /** Monotonic service counters plus instantaneous gauges. */
@@ -148,9 +176,28 @@ struct ServeStats
     std::uint64_t completed = 0;   //!< reached Done
     std::uint64_t cancelled = 0;   //!< reached Cancelled
     std::uint64_t failed = 0;      //!< reached Failed
+    std::uint64_t shed = 0;        //!< queued jobs displaced to Shed
+    std::uint64_t shedAdmission = 0; //!< submissions shed at admission
+                                     //!< (also counted in rejected)
     std::uint64_t cacheHits = 0;   //!< jobs served from the ResultCache
     std::uint64_t warmStarts = 0;  //!< jobs seeded from a cached fixpoint
     std::size_t queueDepth = 0;    //!< gauge: jobs waiting
+    std::size_t running = 0;       //!< gauge: jobs executing now
+};
+
+/** Per-tenant slice of the service counters (see JobManager::tenantStats). */
+struct TenantServeStats
+{
+    std::uint64_t submitted = 0;   //!< submit() calls naming this tenant
+    std::uint64_t rejected = 0;    //!< not admitted (any SubmitError)
+    std::uint64_t completed = 0;   //!< reached Done
+    std::uint64_t cancelled = 0;   //!< reached Cancelled
+    std::uint64_t failed = 0;      //!< reached Failed
+    std::uint64_t shed = 0;        //!< queued jobs displaced to Shed
+    std::uint64_t shedAdmission = 0; //!< submissions shed at admission
+    std::uint64_t cacheHits = 0;   //!< served from the ResultCache
+    std::uint64_t warmStarts = 0;  //!< seeded from a cached fixpoint
+    std::size_t queued = 0;        //!< gauge: jobs waiting
     std::size_t running = 0;       //!< gauge: jobs executing now
 };
 

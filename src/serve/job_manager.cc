@@ -18,6 +18,7 @@ to_string(JobState state)
       case JobState::Done:      return "done";
       case JobState::Cancelled: return "cancelled";
       case JobState::Failed:    return "failed";
+      case JobState::Shed:      return "shed";
     }
     return "?";
 }
@@ -31,14 +32,33 @@ to_string(SubmitError error)
       case SubmitError::UnknownGraph: return "UnknownGraph";
       case SubmitError::BadRequest:   return "BadRequest";
       case SubmitError::ShuttingDown: return "ShuttingDown";
+      case SubmitError::Shed:         return "Shed";
     }
     return "?";
 }
 
+namespace {
+
+/** ServeConfig -> the admission queue's sizing/policy record. */
+QosConfig
+makeQosConfig(const ServeConfig &cfg)
+{
+    QosConfig qos;
+    qos.capacity = cfg.queueCapacity;
+    qos.workers = std::max(1u, cfg.workers);
+    qos.shedOnDeadline = cfg.shedOnDeadline;
+    qos.initialServiceSeconds = cfg.initialServiceEstimateSeconds;
+    qos.defaults = cfg.defaultQos;
+    qos.tenants = cfg.tenantQos;
+    return qos;
+}
+
+} // namespace
+
 JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
     : registry_(registry), cfg_(config),
       cache_(config.cacheCapacity, config.cacheTtlSeconds),
-      queue_(config.queueCapacity)
+      queue_(makeQosConfig(config))
 {
     queue_.attachDepthGauge(&obs::gauge("serve.queue_depth"));
     queue_.attachWaitHistogram(
@@ -69,14 +89,25 @@ JobManager::~JobManager()
 JobManager::Submitted
 JobManager::submit(JobRequest req)
 {
-    auto reject = [this, &req](SubmitError error) {
+    // Every job lives in some QoS lane; anonymous submitters share one.
+    if (req.tenant.empty())
+        req.tenant = "default";
+
+    // Pre-admission rejections (nothing was registered yet).  Copies,
+    // not references: req may have been moved into the job record.
+    auto reject = [this, tenant = req.tenant, graph_name = req.graph,
+                   algo = req.algo](SubmitError error) {
         GRAPHABCD_LOG_WARN("serve", "job rejected",
                            LOGF("reason", to_string(error)),
-                           LOGF("graph", req.graph),
-                           LOGF("algo", req.algo));
+                           LOGF("tenant", tenant),
+                           LOGF("graph", graph_name),
+                           LOGF("algo", algo));
         std::lock_guard<std::mutex> lock(mtx_);
         stats_.submitted++;
         stats_.rejected++;
+        TenantEntry &entry = tenantEntryLocked(tenant);
+        entry.stats.submitted++;
+        entry.stats.rejected++;
         return Submitted{0, error};
     };
 
@@ -123,76 +154,146 @@ JobManager::submit(JobRequest req)
             stats_.submitted++;
             stats_.completed++;
             stats_.cacheHits++;
+            TenantEntry &entry = tenantEntryLocked(job->req.tenant);
+            entry.stats.submitted++;
+            entry.stats.completed++;
+            entry.stats.cacheHits++;
             jobs_.emplace(job->id, job);
             return Submitted{job->id, SubmitError::None};
         }
     }
 
-    if (!queue_.tryPush(job, job->req.priority))
-        return reject(shutdown_.load(std::memory_order_acquire)
-                          ? SubmitError::ShuttingDown
-                          : SubmitError::QueueFull);
+    // Pre-register the job *before* queue admission: the instant
+    // tryPush succeeds a worker may pop and claim it, and the claim's
+    // guarded queued-- must observe this queued++ — registering after
+    // the push loses the decrement and pins the gauge high forever.
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stats_.submitted++;
+        TenantEntry &entry = tenantEntryLocked(job->req.tenant);
+        entry.stats.submitted++;
+        entry.stats.queued++;
+        publishTenantGauges(entry);
+        jobs_.emplace(job->id, job);
+    }
+
+    // Deadlines are measured from submission on the same clock the
+    // queue uses for its wait estimate, so admission can tell whether
+    // the job could plausibly still start in time.
+    const double deadline_at = job->req.timeoutSeconds > 0.0
+                                   ? job->submittedAt +
+                                         job->req.timeoutSeconds
+                                   : 0.0;
+    auto pushed = queue_.tryPush(job, job->req.tenant,
+                                 job->req.priority, deadline_at);
+    if (pushed.outcome != AdmitOutcome::Admitted) {
+        const SubmitError error =
+            pushed.outcome == AdmitOutcome::Shed
+                ? SubmitError::Shed
+                : (shutdown_.load(std::memory_order_acquire)
+                       ? SubmitError::ShuttingDown
+                       : SubmitError::QueueFull);
+        GRAPHABCD_LOG_WARN("serve", "job rejected",
+                           LOGF("reason", to_string(error)),
+                           LOGF("tenant", job->req.tenant),
+                           LOGF("graph", job->req.graph),
+                           LOGF("algo", job->req.algo));
+        std::lock_guard<std::mutex> lock(mtx_);
+        jobs_.erase(job->id);
+        // Every state transition happens under mtx_, so the state is
+        // stable here.  A job no longer Queued was claimed (and fully
+        // accounted) by a concurrent shutdown() sweep — re-accounting
+        // it as a rejection would double-book it.
+        if (job->state.load(std::memory_order_acquire) ==
+            JobState::Queued) {
+            stats_.rejected++;
+            TenantEntry &entry = tenantEntryLocked(job->req.tenant);
+            entry.stats.rejected++;
+            if (entry.stats.queued > 0)
+                entry.stats.queued--;
+            if (error == SubmitError::Shed) {
+                stats_.shedAdmission++;
+                entry.stats.shedAdmission++;
+                entry.shedCounter->add(1);
+            }
+            publishTenantGauges(entry);
+        }
+        return Submitted{0, error};
+    }
 
     GRAPHABCD_LOG_DEBUG("serve", "job admitted", LOGF("job", job->id),
+                        LOGF("tenant", job->req.tenant),
                         LOGF("graph", job->req.graph),
                         LOGF("algo", job->req.algo),
                         LOGF("engine", job->req.engine));
-    std::lock_guard<std::mutex> lock(mtx_);
-    stats_.submitted++;
-    jobs_.emplace(job->id, job);
+
+    // Admission may have displaced other tenants' newest queued work to
+    // make room (fair-share pressure shedding).  Terminalise each
+    // victim outside mtx_; a concurrent cancel() may win the CAS, in
+    // which case the victim is already accounted for.
+    for (auto &victim : pushed.shed) {
+        finishJob(victim, JobState::Queued, JobState::Shed,
+                  "shed: displaced by fair-share pressure");
+    }
     return Submitted{job->id, SubmitError::None};
 }
 
 void
 JobManager::workerLoop()
 {
-    while (auto popped = queue_.pop()) {
+    std::string tenant;
+    while (auto popped = queue_.pop(&tenant)) {
         std::shared_ptr<Job> job = std::move(*popped);
-        // cancel() may have claimed the job while it was queued.
-        if (job->state.load(std::memory_order_acquire) !=
-            JobState::Queued)
-            continue;
-        if (job->req.options.stop.stopRequested()) {
-            // CAS: cancel() may terminalise the job concurrently, and
-            // only the winner may count it (else stats_.cancelled is
-            // double-counted and the error double-written).
-            finishJob(job, JobState::Queued, JobState::Cancelled,
-                      job->stop.stopRequested()
-                          ? "cancelled while queued"
-                          : "deadline exceeded while queued");
-            continue;
-        }
         runJob(job);
+        // Return the tenant's in-flight slot on *every* path (run,
+        // skip, cancel), or its quota would leak and starve the lane.
+        queue_.release(tenant);
     }
 }
 
 void
 JobManager::runJob(const std::shared_ptr<Job> &job)
 {
+    // cancel() may have claimed the job while it was queued.
+    if (job->state.load(std::memory_order_acquire) != JobState::Queued)
+        return;
+    if (job->req.options.stop.stopRequested()) {
+        // CAS: cancel() may terminalise the job concurrently, and
+        // only the winner may count it (else stats_.cancelled is
+        // double-counted and the error double-written).
+        finishJob(job, JobState::Queued, JobState::Cancelled,
+                  stopCauseError(*job, /*queued=*/true));
+        return;
+    }
+
     // Re-check the cache: an identical job may have converged while
     // this one sat in the queue.  All non-atomic Job fields are
     // guarded by mtx_ once the job is published in jobs_, so status()
-    // snapshots never race the worker.
+    // snapshots never race the worker.  The outcome fields are written
+    // only inside the on-win hook: a concurrent cancel() that wins the
+    // Queued->Done race must not find a result (or a started stamp)
+    // hanging off its Cancelled job.
     if (job->req.allowCached) {
         if (auto cached = cache_.get(job->key)) {
-            {
-                std::lock_guard<std::mutex> lock(mtx_);
-                job->cacheHit = true;
-                job->result = std::move(cached);
-                job->startedAt = monotonicSeconds();
-            }
-            // The job is still Queued here, so a concurrent cancel()
-            // can claim it first; only the winner counts.
-            if (finishJob(job, JobState::Queued, JobState::Done, "")) {
-                std::lock_guard<std::mutex> lock(mtx_);
-                stats_.cacheHits++;
-            }
+            finishJob(job, JobState::Queued, JobState::Done, "",
+                      [this, &job, &cached] {
+                          job->cacheHit = true;
+                          job->result = std::move(cached);
+                          job->startedAt = monotonicSeconds();
+                          stats_.cacheHits++;
+                          tenantEntryLocked(job->req.tenant)
+                              .stats.cacheHits++;
+                      });
             return;
         }
     }
 
     // Warm start: a converged result from the same fixpoint family
     // (same graph/algo/params, any engine options) seeds this run.
+    // The family key deliberately ignores the tenant: one tenant's
+    // converged fixpoint legitimately warms another's run of the same
+    // family (the values are a function of the request, not of who
+    // asked).
     if (job->req.allowWarmStart) {
         std::shared_ptr<const JobResult> seed;
         {
@@ -211,18 +312,34 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
             std::lock_guard<std::mutex> lock(mtx_);
             job->warmStarted = true;
             stats_.warmStarts++;
+            tenantEntryLocked(job->req.tenant).stats.warmStarts++;
         }
     }
 
     {
         std::lock_guard<std::mutex> lock(mtx_);
         // Claim Queued -> Running; cancel() may have claimed the job
-        // between the worker's pop and this point.
+        // between the worker's pop and this point.  The claim is the
+        // one place a starting job's startedAt is stamped (terminal
+        // paths only backfill a still-zero stamp), so queue-wait and
+        // run-time accounting stay monotonic:
+        //   submittedAt <= startedAt <= finishedAt.
         JobState expected = JobState::Queued;
         if (!job->state.compare_exchange_strong(expected,
                                                 JobState::Running))
             return;
         job->startedAt = monotonicSeconds();
+        TenantEntry &entry = tenantEntryLocked(job->req.tenant);
+        if (entry.stats.queued > 0)
+            entry.stats.queued--;
+        entry.stats.running++;
+        publishTenantGauges(entry);
+        if constexpr (obs::kEnabled) {
+            if (entry.waitHist) {
+                entry.waitHist->record(
+                    (job->startedAt - job->submittedAt) * 1e6);
+            }
+        }
         // Open this run's convergence curve in the process-wide
         // recorder.  The sink is a serve-layer hook (like stop and
         // progress), so the cache fingerprint is unaffected.
@@ -251,27 +368,35 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
         return;
     }
     if (outcome.report.stopped) {
+        // The engine halted through the StopToken, which fires for
+        // both cancel() and the per-job deadline; attribute the true
+        // cause by which instant came first, not by guessing from the
+        // flag (a deadline also rides the token).
         finishJob(job, JobState::Running, JobState::Cancelled,
-                  job->stop.stopRequested() ? "cancelled"
-                                            : "deadline exceeded");
+                  stopCauseError(*job, /*queued=*/false));
         return;
     }
+
+    // Feed the admission-time deadline estimator with what jobs
+    // actually cost; only measured runs count (cache hits are ~free
+    // and would drag the estimate toward zero).
+    queue_.recordServiceSeconds(outcome.report.seconds);
 
     auto result = std::make_shared<JobResult>();
     result->values = std::move(outcome.values);
     result->report = outcome.report;
     cache_.put(job->key, result);
-    {
-        std::lock_guard<std::mutex> lock(mtx_);
-        job->result = result;
-        lastFixpoint_[job->familyKey] = std::move(result);
-    }
-    finishJob(job, JobState::Running, JobState::Done, "");
+    finishJob(job, JobState::Running, JobState::Done, "",
+              [this, &job, &result] {
+                  job->result = result;
+                  lastFixpoint_[job->familyKey] = std::move(result);
+              });
 }
 
 bool
 JobManager::finishJob(const std::shared_ptr<Job> &job, JobState from,
-                      JobState to, std::string error)
+                      JobState to, std::string error,
+                      const std::function<void()> &on_win)
 {
     {
         std::lock_guard<std::mutex> lock(mtx_);
@@ -279,16 +404,39 @@ JobManager::finishJob(const std::shared_ptr<Job> &job, JobState from,
         if (!job->state.compare_exchange_strong(expected, to,
                                                 std::memory_order_acq_rel))
             return false;   // lost to a concurrent transition
+        if (on_win)
+            on_win();
         job->error = std::move(error);
         job->finishedAt = monotonicSeconds();
         if (job->startedAt == 0.0)
             job->startedAt = job->finishedAt;
+        TenantEntry &entry = tenantEntryLocked(job->req.tenant);
+        if (from == JobState::Queued && entry.stats.queued > 0)
+            entry.stats.queued--;
+        if (from == JobState::Running && entry.stats.running > 0)
+            entry.stats.running--;
         switch (to) {
-          case JobState::Done:      stats_.completed++; break;
-          case JobState::Cancelled: stats_.cancelled++; break;
-          case JobState::Failed:    stats_.failed++; break;
+          case JobState::Done:
+            stats_.completed++;
+            entry.stats.completed++;
+            entry.completedCounter->add(1);
+            break;
+          case JobState::Cancelled:
+            stats_.cancelled++;
+            entry.stats.cancelled++;
+            break;
+          case JobState::Failed:
+            stats_.failed++;
+            entry.stats.failed++;
+            break;
+          case JobState::Shed:
+            stats_.shed++;
+            entry.stats.shed++;
+            entry.shedCounter->add(1);
+            break;
           default: break;
         }
+        publishTenantGauges(entry);
         // Bound the job table: prune the oldest terminal records
         // (JobIds are monotonic, so map order is submission order).
         if (cfg_.maxRetainedJobs > 0) {
@@ -329,11 +477,67 @@ JobManager::cancel(JobId id)
     // Claim a queued job outright so it never starts; the popping
     // worker sees a non-Queued state and drops its queue entry.  The
     // CAS inside finishJob arbitrates against that worker, so exactly
-    // one side records the cancellation.
+    // one side records the cancellation.  The cause still goes through
+    // stopCauseError: if the job's deadline had already fired before
+    // this cancel arrived, "deadline exceeded" is the truth.
     finishJob(job, JobState::Queued, JobState::Cancelled,
-              "cancelled while queued");
+              stopCauseError(*job, /*queued=*/true));
     // Running jobs finish through the worker when the token fires.
     return true;
+}
+
+std::string
+JobManager::stopCauseError(const Job &job, bool queued)
+{
+    const StopToken &token = job.req.options.stop;
+    const double requested_at = job.stop.requestStopAtSeconds();
+    // Both instants are on the raw steady-clock scale (stop_token.hh).
+    // An expired deadline that predates the first cancel request — or
+    // that fired with no cancel request at all — is the true cause.
+    const bool deadline_first =
+        token.deadlineExpired() &&
+        (requested_at == 0.0 ||
+         token.deadlineAtSeconds() <= requested_at);
+    if (deadline_first)
+        return queued ? "deadline exceeded while queued"
+                      : "deadline exceeded";
+    return queued ? "cancelled while queued" : "cancelled";
+}
+
+JobManager::TenantEntry &
+JobManager::tenantEntryLocked(const std::string &tenant)
+{
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return it->second;
+    TenantEntry &entry = tenants_[tenant];
+    // Resolve the per-tenant instruments once; tenant cardinality is
+    // small (lanes are configured, not per-request).  Under
+    // GRAPHABCD_OBS=OFF these resolve to the shared no-op instruments.
+    const std::string prefix = "serve.tenant." + tenant + ".";
+    entry.queuedGauge = &obs::gauge((prefix + "queued").c_str());
+    entry.runningGauge = &obs::gauge((prefix + "running").c_str());
+    entry.completedCounter =
+        &obs::counter((prefix + "completed").c_str());
+    entry.shedCounter = &obs::counter((prefix + "shed").c_str());
+    entry.waitHist = &obs::histogram((prefix + "wait_us").c_str(),
+                                     obs::latencyBucketsUs());
+    return entry;
+}
+
+void
+JobManager::publishTenantGauges(const TenantEntry &entry)
+{
+    if constexpr (obs::kEnabled) {
+        if (entry.queuedGauge) {
+            entry.queuedGauge->set(
+                static_cast<double>(entry.stats.queued));
+        }
+        if (entry.runningGauge) {
+            entry.runningGauge->set(
+                static_cast<double>(entry.stats.running));
+        }
+    }
 }
 
 std::optional<JobStatus>
@@ -350,6 +554,7 @@ JobManager::status(JobId id) const
     JobStatus st;
     st.id = job->id;
     st.state = job->state.load(std::memory_order_acquire);
+    st.tenant = job->req.tenant;
     st.priority = job->req.priority;
     st.cacheHit = job->cacheHit;
     st.warmStarted = job->warmStarted;
@@ -432,6 +637,16 @@ JobManager::stats() const
     }
     out.queueDepth = queue_.size();
     out.running = running_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::map<std::string, TenantServeStats>
+JobManager::tenantStats() const
+{
+    std::map<std::string, TenantServeStats> out;
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (const auto &[tenant, entry] : tenants_)
+        out.emplace(tenant, entry.stats);
     return out;
 }
 

@@ -6,26 +6,36 @@
  *
  *  - submit() runs on the client thread: it resolves the graph handle,
  *    consults the ResultCache (an exact hit completes the job without
- *    ever queueing), and admits the job to a bounded priority queue.
- *    A saturated queue rejects with QueueFull instead of blocking —
- *    admission control, not buffering.
+ *    ever queueing), and admits the job to the tenant-aware
+ *    FairShareQueue (serve/qos.hh).  A saturated queue backpressures
+ *    the most over-share tenant with QueueFull, displaces the newest
+ *    queued job of an over-share tenant (terminal state Shed) to admit
+ *    under-share work, and sheds deadline-infeasible submissions
+ *    outright (SubmitError::Shed) so doomed clients fail fast.
  *
- *  - A fixed pool of service workers pops jobs in priority order and
- *    runs the engine synchronously.  Engines are handed a StopToken
- *    (cancel() + per-job deadline) they poll at block granularity, and
- *    a Progress sink of relaxed atomics they publish into, so
- *    status() snapshots never touch an engine lock.
+ *  - A fixed pool of service workers pops jobs in weighted-fair lane
+ *    order (priority order within a tenant) and runs the engine
+ *    synchronously.  Engines are handed a StopToken (cancel() +
+ *    per-job deadline) they poll at block granularity, and a Progress
+ *    sink of relaxed atomics they publish into, so status() snapshots
+ *    never touch an engine lock.
  *
- *  - One mutex guards the job table, stats, and the warm-start index;
- *    it is never held across an engine run, a partition build, or a
- *    queue wait.  The ResultCache and AdmissionQueue have their own
- *    locks, always acquired after (never while holding) the manager
- *    lock held only for map/stat updates — no lock-order cycles.
+ *  - One mutex guards the job table, stats (global and per-tenant),
+ *    and the warm-start index; it is never held across an engine run,
+ *    a partition build, or a queue wait.  The ResultCache and
+ *    FairShareQueue have their own locks, always acquired after
+ *    (never while holding) the manager lock held only for map/stat
+ *    updates — no lock-order cycles.
  *
  * Cancellation is cooperative and race-free: cancel() atomically
  * claims a Queued job (the popping worker then skips it) or requests a
  * stop on a Running one; the engine returns with report.stopped and
- * the worker records Cancelled.  Deadlines ride the same token.
+ * the worker records Cancelled.  Deadlines ride the same token, and
+ * the halt cause is attributed by instant (first requestStop() vs the
+ * token deadline), not by guessing from the flag.  All writes to a
+ * job's result/bookkeeping happen *after* the terminal CAS is won
+ * (finishJob's on_win hook), so a losing finisher never leaves state
+ * behind on a job someone else terminalised.
  */
 
 #ifndef GRAPHABCD_SERVE_JOB_MANAGER_HH
@@ -33,19 +43,21 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/stop_token.hh"
-#include "runtime/admission_queue.hh"
 #include "runtime/executor.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job.hh"
+#include "serve/qos.hh"
 #include "serve/result_cache.hh"
 
 namespace graphabcd {
@@ -105,6 +117,13 @@ class JobManager
     ServeStats stats() const;
 
     /**
+     * Per-tenant counters/gauges, one entry per tenant ever seen
+     * (including rejected-only tenants).  Gauges (queued/running) are
+     * point-in-time; counters are monotonic.
+     */
+    std::map<std::string, TenantServeStats> tenantStats() const;
+
+    /**
      * The job's convergence curve (one sample per trace interval),
      * recorded while the engine runs and retained with the job record.
      * Null for unknown ids, cache-hit jobs (nothing ran), and always
@@ -145,6 +164,18 @@ class JobManager
         bool warmStarted = false;
     };
 
+    /** Per-tenant accounting plus lazily resolved obs instruments
+     *  (serve.tenant.<name>.{queued,running,completed,shed,wait_us}). */
+    struct TenantEntry
+    {
+        TenantServeStats stats;
+        obs::Gauge *queuedGauge = nullptr;
+        obs::Gauge *runningGauge = nullptr;
+        obs::Counter *completedCounter = nullptr;
+        obs::Counter *shedCounter = nullptr;
+        obs::Histogram *waitHist = nullptr;
+    };
+
     void workerLoop();
     void runJob(const std::shared_ptr<Job> &job);
 
@@ -153,15 +184,33 @@ class JobManager
      * what makes finishing race-free: cancel() and a worker can both
      * try to terminalise the same Queued job, and exactly one of them
      * wins and does the bookkeeping (stats, error, timestamps).
+     * @param on_win runs under mtx_ only after the CAS is won — the
+     *        single place a finisher may write job->result and other
+     *        outcome fields, so the losing side leaves no trace.
      * @return whether this caller won the transition.
      */
     bool finishJob(const std::shared_ptr<Job> &job, JobState from,
-                   JobState to, std::string error);
+                   JobState to, std::string error,
+                   const std::function<void()> &on_win = nullptr);
+
+    /** The tenant's accounting entry, created on first sight (mtx_). */
+    TenantEntry &tenantEntryLocked(const std::string &tenant);
+
+    /** Push the tenant's queued/running gauges to obs (mtx_ held). */
+    void publishTenantGauges(const TenantEntry &entry);
+
+    /**
+     * The true halt cause: "deadline exceeded" when the token deadline
+     * fired at or before the first requestStop() (or no cancel ever
+     * arrived), else "cancelled" — with a " while queued" suffix for
+     * jobs that never started.
+     */
+    static std::string stopCauseError(const Job &job, bool queued);
 
     GraphRegistry &registry_;
     const ServeConfig cfg_;
     ResultCache cache_;
-    AdmissionQueue<std::shared_ptr<Job>> queue_;
+    FairShareQueue<std::shared_ptr<Job>> queue_;
     std::shared_ptr<Executor> executor_;   //!< engine worker pool
 
     mutable std::mutex mtx_;   //!< jobs_, warm-start index, stats_
@@ -170,6 +219,7 @@ class JobManager
     std::unordered_map<std::uint64_t, std::weak_ptr<const JobResult>>
         lastFixpoint_;   //!< familyKey -> most recent converged result
     ServeStats stats_;
+    std::map<std::string, TenantEntry> tenants_;   //!< under mtx_
 
     std::atomic<JobId> nextId_{1};
     std::atomic<std::size_t> running_{0};

@@ -1,0 +1,104 @@
+#include "serve/qos.hh"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace graphabcd {
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    std::size_t consumed = 0;
+    try {
+        *out = std::stod(s, &consumed);
+    } catch (...) {
+        return false;
+    }
+    return consumed == s.size();
+}
+
+bool
+parseSize(const std::string &s, std::size_t *out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    std::size_t consumed = 0;
+    try {
+        *out = static_cast<std::size_t>(std::stoull(s, &consumed));
+    } catch (...) {
+        return false;
+    }
+    return consumed == s.size();
+}
+
+void
+fail(std::string *error, const std::string &clause, const char *why)
+{
+    if (error)
+        *error = "bad tenant spec '" + clause + "': " + why;
+}
+
+} // namespace
+
+bool
+parseTenantQosSpecs(const std::string &spec,
+                    std::map<std::string, TenantQos> *out,
+                    std::string *error)
+{
+    std::map<std::string, TenantQos> parsed;
+    for (const std::string &clause : split(spec, ',')) {
+        if (clause.empty())
+            continue;   // tolerate stray commas
+        const std::vector<std::string> fields = split(clause, ':');
+        if (fields[0].empty()) {
+            fail(error, clause, "empty tenant name");
+            return false;
+        }
+        if (fields.size() < 2 || fields.size() > 4) {
+            fail(error, clause,
+                 "want name:weight[:maxInFlight[:maxQueued]]");
+            return false;
+        }
+        TenantQos qos;
+        if (!parseDouble(fields[1], &qos.weight) || qos.weight <= 0.0) {
+            fail(error, clause, "weight must be a positive number");
+            return false;
+        }
+        if (fields.size() >= 3 &&
+            !parseSize(fields[2], &qos.maxInFlight)) {
+            fail(error, clause, "maxInFlight must be a non-negative int");
+            return false;
+        }
+        if (fields.size() >= 4 && !parseSize(fields[3], &qos.maxQueued)) {
+            fail(error, clause, "maxQueued must be a non-negative int");
+            return false;
+        }
+        parsed[fields[0]] = qos;
+    }
+    for (auto &entry : parsed)
+        (*out)[entry.first] = entry.second;
+    return true;
+}
+
+} // namespace graphabcd

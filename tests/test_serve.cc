@@ -1,15 +1,22 @@
 /**
  * @file
  * Tests of the serve layer: admission queue ordering and backpressure,
- * stop tokens, result-cache LRU/TTL/fingerprinting, the graph
- * registry, and the JobManager end-to-end — concurrent jobs must match
- * direct engine runs, cancellation must not block other jobs, and a
- * saturated queue must reject instead of deadlock.
+ * the tenant-aware FairShareQueue (weighted interleave, quotas,
+ * displacement shedding, deadline admission control), stop tokens and
+ * halt-cause attribution, result-cache LRU/TTL/fingerprinting, the
+ * graph registry, and the JobManager end-to-end — concurrent jobs must
+ * match direct engine runs, cancellation must not block other jobs, a
+ * saturated queue must reject instead of deadlock, and the
+ * cancel-vs-finish races must keep every counter and result field
+ * consistent.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -19,9 +26,11 @@
 #include "algorithms/reference.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job_manager.hh"
+#include "serve/qos.hh"
 #include "serve/result_cache.hh"
 #include "serve/runner.hh"
 #include "support/fingerprint.hh"
+#include "support/timer.hh"
 
 namespace graphabcd {
 namespace {
@@ -96,6 +105,183 @@ TEST(AdmissionQueue, CloseDrainsBacklogThenSignalsShutdown)
 }
 
 // ---------------------------------------------------------------------
+// FairShareQueue
+
+TEST(FairShareQueue, WeightedInterleaveUnderBacklog)
+{
+    QosConfig cfg;
+    cfg.capacity = 16;
+    cfg.tenants["a"] = {3.0, 0, 0};
+    cfg.tenants["b"] = {1.0, 0, 0};
+    FairShareQueue<int> q(cfg);
+    for (int v : {1, 2, 3, 4, 5, 6})
+        ASSERT_EQ(q.tryPush(v, "a").outcome, AdmitOutcome::Admitted);
+    for (int v : {101, 102})
+        ASSERT_EQ(q.tryPush(v, "b").outcome, AdmitOutcome::Admitted);
+
+    // Virtual time advances by 1/weight per serve, ties resolve in
+    // tenant (map) order: a gets 3 services for every 1 of b.
+    std::vector<int> order;
+    std::string tenant;
+    for (int i = 0; i < 8; i++) {
+        auto item = q.pop(&tenant);
+        ASSERT_TRUE(item.has_value());
+        order.push_back(*item);
+        q.release(tenant);
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 101, 2, 3, 4, 102, 5, 6}));
+}
+
+TEST(FairShareQueue, PriorityOrderFifoWithinLane)
+{
+    FairShareQueue<int> q(QosConfig{});
+    ASSERT_EQ(q.tryPush(1, "t", 0.0).outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(q.tryPush(2, "t", 5.0).outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(q.tryPush(3, "t", 0.0).outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(q.tryPush(4, "t", 5.0).outcome, AdmitOutcome::Admitted);
+    // Same contract as AdmissionQueue, per lane: highest priority
+    // first, FIFO among equals.
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(FairShareQueue, InFlightQuotaGatesUntilRelease)
+{
+    QosConfig cfg;
+    cfg.tenants["q"] = {1.0, /*maxInFlight=*/1, 0};
+    FairShareQueue<int> q(cfg);
+    ASSERT_EQ(q.tryPush(1, "q").outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(q.tryPush(2, "q").outcome, AdmitOutcome::Admitted);
+
+    int out = 0;
+    EXPECT_EQ(q.tryPop(out), PopStatus::Ok);
+    EXPECT_EQ(out, 1);
+    // One job of "q" is in flight: the lane is ineligible even though
+    // it has queued work.
+    EXPECT_EQ(q.tryPop(out), PopStatus::Empty);
+    q.release("q");
+    EXPECT_EQ(q.tryPop(out), PopStatus::Ok);
+    EXPECT_EQ(out, 2);
+}
+
+TEST(FairShareQueue, PerLaneBacklogBoundRejects)
+{
+    QosConfig cfg;
+    cfg.capacity = 16;
+    cfg.tenants["small"] = {1.0, 0, /*maxQueued=*/2};
+    FairShareQueue<int> q(cfg);
+    EXPECT_EQ(q.tryPush(1, "small").outcome, AdmitOutcome::Admitted);
+    EXPECT_EQ(q.tryPush(2, "small").outcome, AdmitOutcome::Admitted);
+    EXPECT_EQ(q.tryPush(3, "small").outcome, AdmitOutcome::Full);
+    EXPECT_EQ(q.tryPush(4, "other").outcome, AdmitOutcome::Admitted);
+    EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(FairShareQueue, DisplacesNewestOfMostOverShareLane)
+{
+    QosConfig cfg;
+    cfg.capacity = 4;
+    FairShareQueue<int> q(cfg);
+    for (int v : {1, 2, 3, 4})
+        ASSERT_EQ(q.tryPush(v, "flood").outcome, AdmitOutcome::Admitted);
+
+    // The queue is full, but the under-share tenant still gets in: the
+    // flooder's *newest* entry is displaced and handed back.
+    auto pushed = q.tryPush(9, "vip");
+    EXPECT_EQ(pushed.outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(pushed.shed.size(), 1u);
+    EXPECT_EQ(pushed.shed[0], 4);
+    EXPECT_EQ(q.size(), 4u);
+
+    // The flooder itself is now the (tied-)most over-share lane, so
+    // its own push gets plain backpressure — nobody else pays.
+    auto again = q.tryPush(5, "flood");
+    EXPECT_EQ(again.outcome, AdmitOutcome::Full);
+    EXPECT_TRUE(again.shed.empty());
+    EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(FairShareQueue, DeadlineShedUsesServiceEstimate)
+{
+    QosConfig cfg;
+    cfg.capacity = 0;   // unbounded: isolate the deadline policy
+    cfg.workers = 1;
+    cfg.initialServiceSeconds = 10.0;
+    FairShareQueue<int> q(cfg);
+
+    // First job: nothing is ahead of it, any deadline is feasible.
+    ASSERT_EQ(q.tryPush(1, "a", 0.0, monotonicSeconds() + 0.5).outcome,
+              AdmitOutcome::Admitted);
+    // Second job: one ~10s job ahead, a 1s deadline is hopeless.
+    EXPECT_EQ(q.tryPush(2, "a", 0.0, monotonicSeconds() + 1.0).outcome,
+              AdmitOutcome::Shed);
+    // ...but a 100s deadline clears the ~10s estimated wait.
+    EXPECT_EQ(q.tryPush(3, "a", 0.0, monotonicSeconds() + 100.0).outcome,
+              AdmitOutcome::Admitted);
+    // No deadline means no shedding regardless of the estimate.
+    EXPECT_EQ(q.tryPush(4, "a").outcome, AdmitOutcome::Admitted);
+    EXPECT_DOUBLE_EQ(q.serviceEstimateSeconds(), 10.0);
+
+    // With no evidence (EWMA seed 0) the policy never fires.
+    QosConfig blind = cfg;
+    blind.initialServiceSeconds = 0.0;
+    FairShareQueue<int> q2(blind);
+    ASSERT_EQ(q2.tryPush(1, "a").outcome, AdmitOutcome::Admitted);
+    EXPECT_EQ(q2.tryPush(2, "a", 0.0, monotonicSeconds() + 1.0).outcome,
+              AdmitOutcome::Admitted);
+    // A measured run is evidence; the next doomed push sheds.
+    q2.recordServiceSeconds(10.0);
+    EXPECT_EQ(q2.tryPush(3, "a", 0.0, monotonicSeconds() + 1.0).outcome,
+              AdmitOutcome::Shed);
+}
+
+TEST(FairShareQueue, CloseDrainsBacklogIgnoringQuota)
+{
+    QosConfig cfg;
+    cfg.tenants["q"] = {1.0, /*maxInFlight=*/1, 0};
+    FairShareQueue<int> q(cfg);
+    ASSERT_EQ(q.tryPush(1, "q").outcome, AdmitOutcome::Admitted);
+    ASSERT_EQ(q.tryPush(2, "q").outcome, AdmitOutcome::Admitted);
+
+    int out = 0;
+    ASSERT_EQ(q.tryPop(out), PopStatus::Ok);   // quota slot now taken
+    q.close();
+    EXPECT_EQ(q.tryPush(3, "q").outcome, AdmitOutcome::Full);
+    // Shutdown drains regardless of the in-flight quota...
+    EXPECT_EQ(q.tryPop(out), PopStatus::Ok);
+    EXPECT_EQ(out, 2);
+    // ...and then reports drained, exactly like AdmissionQueue.
+    EXPECT_EQ(q.tryPop(out), PopStatus::Drained);
+    EXPECT_EQ(q.pop(), std::nullopt);
+    EXPECT_TRUE(q.isClosed());
+}
+
+TEST(FairShareQueue, ParsesTenantSpecs)
+{
+    std::map<std::string, TenantQos> out;
+    std::string error;
+    ASSERT_TRUE(parseTenantQosSpecs("gold:4,free:1:2:8", &out, &error))
+        << error;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out["gold"].weight, 4.0);
+    EXPECT_EQ(out["gold"].maxInFlight, 0u);
+    EXPECT_DOUBLE_EQ(out["free"].weight, 1.0);
+    EXPECT_EQ(out["free"].maxInFlight, 2u);
+    EXPECT_EQ(out["free"].maxQueued, 8u);
+
+    for (const char *bad :
+         {"noweight", "a:", "a:0", "a:-1", "a:1:z", "a:1:2:3:4", ":2"}) {
+        std::map<std::string, TenantQos> untouched;
+        std::string why;
+        EXPECT_FALSE(parseTenantQosSpecs(bad, &untouched, &why)) << bad;
+        EXPECT_TRUE(untouched.empty()) << bad;
+        EXPECT_FALSE(why.empty()) << bad;
+    }
+}
+
+// ---------------------------------------------------------------------
 // StopToken
 
 TEST(StopToken, DefaultTokenNeverFires)
@@ -122,6 +308,32 @@ TEST(StopToken, DeadlineFiresWithoutASource)
     EXPECT_TRUE(token.stopPossible());
     EXPECT_TRUE(waitUntil([&] { return token.stopRequested(); }, 1.0));
     EXPECT_TRUE(token.deadlineExpired());
+}
+
+TEST(StopToken, RecordsFirstRequestInstantForAttribution)
+{
+    StopSource source;
+    EXPECT_DOUBLE_EQ(source.requestStopAtSeconds(), 0.0);
+
+    const double before = detail::steadyNowSeconds();
+    source.requestStop();
+    const double first = source.requestStopAtSeconds();
+    EXPECT_GE(first, before);
+    EXPECT_LE(first, detail::steadyNowSeconds());
+
+    // requestStop() is sticky: later calls keep the first instant.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    source.requestStop();
+    EXPECT_DOUBLE_EQ(source.requestStopAtSeconds(), first);
+
+    // Both instants live on the same steady-clock scale, so a finisher
+    // can order them: a far-future deadline lost to this cancel, an
+    // already-expired one beat it.
+    StopToken late = source.token().withDeadline(1000.0);
+    EXPECT_GT(late.deadlineAtSeconds(), first);
+    StopToken early = source.token().withDeadline(-1.0);
+    EXPECT_LT(early.deadlineAtSeconds(), first);
+    EXPECT_DOUBLE_EQ(StopToken().deadlineAtSeconds(), 0.0);
 }
 
 // ---------------------------------------------------------------------
@@ -742,6 +954,471 @@ TEST_F(ServeTest, RejectsUnknownGraphsAndBadRequests)
     manager.shutdown();
     EXPECT_EQ(manager.submit(request("web", "pr", "serial")).error,
               SubmitError::ShuttingDown);
+}
+
+TEST_F(ServeTest, CacheHitVsCancelStormNeverLeaksResults)
+{
+    // Regression: runJob's pop-time cache re-check used to write
+    // job->result and startedAt *before* attempting the Queued -> Done
+    // CAS, so a concurrent cancel() that won the race left a populated
+    // result (and a skewed wait metric) on a Cancelled job.  All
+    // outcome writes now happen in finishJob's on_win hook, after the
+    // CAS: a job is either Done with the cached result or Cancelled
+    // with none — never a hybrid.
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 64;
+    JobManager manager(registry, cfg);
+
+    // Occupy both workers so the cacheable jobs stay queued.
+    JobManager::Submitted b1 = manager.submit(endlessRequest("web"));
+    JobManager::Submitted b2 = manager.submit(endlessRequest("road"));
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto s1 = manager.status(b1.id);
+        auto s2 = manager.status(b2.id);
+        return s1 && s2 && s1->state == JobState::Running &&
+               s2->state == JobState::Running;
+    }));
+
+    JobRequest req = request("web", "pr", "serial");
+    req.allowCached = true;
+    constexpr std::size_t kJobs = 24;
+    std::vector<JobId> ids;
+    for (std::size_t i = 0; i < kJobs; i++) {
+        JobManager::Submitted sub = manager.submit(req);
+        ASSERT_TRUE(sub.ok()) << to_string(sub.error);
+        ids.push_back(sub.id);
+    }
+
+    // Inject the cache entry the queued jobs will re-check at pop time
+    // (submit() stamps the partition's block size before fingerprinting).
+    JobRequest keyed = req;
+    keyed.options.blockSize = registry.get("web")->blockSize();
+    auto fabricated = std::make_shared<JobResult>();
+    fabricated->values = {3.14};
+    fabricated->report.converged = true;
+    manager.cache().put(jobFingerprint(registry.fingerprint("web"), keyed),
+                        fabricated);
+
+    // Release the workers and storm cancels at the same time: pops
+    // racing towards Done-via-cache against cancels towards Cancelled.
+    std::vector<std::thread> stormers;
+    stormers.emplace_back([&] {
+        manager.cancel(b1.id);
+        manager.cancel(b2.id);
+        for (auto it = ids.rbegin(); it != ids.rend(); ++it)
+            manager.cancel(*it);
+    });
+    for (int t = 0; t < 3; t++) {
+        stormers.emplace_back([&manager, &ids] {
+            for (JobId id : ids)
+                manager.cancel(id);
+        });
+    }
+    for (auto &t : stormers)
+        t.join();
+    ASSERT_TRUE(manager.wait(b1.id, 30.0));
+    ASSERT_TRUE(manager.wait(b2.id, 30.0));
+    for (JobId id : ids)
+        ASSERT_TRUE(manager.wait(id, 30.0)) << "job " << id;
+
+    std::size_t done = 0, cancelled = 0;
+    for (JobId id : ids) {
+        auto st = manager.status(id);
+        ASSERT_TRUE(st.has_value());
+        if (st->state == JobState::Done) {
+            done++;
+            EXPECT_TRUE(st->cacheHit) << "job " << id;
+            auto result = manager.result(id);
+            ASSERT_NE(result, nullptr) << "job " << id;
+            EXPECT_DOUBLE_EQ(result->values.at(0), 3.14);
+            EXPECT_TRUE(st->error.empty()) << st->error;
+            // Exactly-once startedAt: the wait/run accounting stays
+            // monotonic even on the pop-time cache-hit path.
+            EXPECT_GE(st->queuedSeconds, 0.0) << "job " << id;
+            EXPECT_GE(st->runSeconds, 0.0) << "job " << id;
+        } else {
+            cancelled++;
+            EXPECT_EQ(st->state, JobState::Cancelled) << "job " << id;
+            EXPECT_EQ(manager.result(id), nullptr)
+                << "cancelled job " << id << " kept a result";
+            EXPECT_FALSE(st->cacheHit) << "job " << id;
+        }
+    }
+    const ServeStats stats = manager.stats();
+    EXPECT_EQ(done + cancelled, kJobs);
+    EXPECT_EQ(stats.completed, done);
+    EXPECT_EQ(stats.cacheHits, done);
+    EXPECT_EQ(stats.cancelled, cancelled + 2);   // + the two blockers
+}
+
+TEST_F(ServeTest, QueuedDeadlineIsNotMisattributedAsCancel)
+{
+    // Regression: a queued job whose deadline had already expired used
+    // to be reported as "cancelled" whenever a cancel() arrived before
+    // the worker popped it — the halt cause was guessed from the stop
+    // flag instead of from which instant came first.
+    ServeConfig cfg;
+    cfg.workers = 1;
+    JobManager manager(registry, cfg);
+
+    JobManager::Submitted blocker = manager.submit(endlessRequest("web"));
+    ASSERT_TRUE(blocker.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(blocker.id);
+        return st && st->state == JobState::Running;
+    }));
+
+    // Deadline first, cancel second: the deadline is the truth.
+    JobRequest doomed = request("road", "pr", "serial");
+    doomed.timeoutSeconds = 0.03;
+    JobManager::Submitted d = manager.submit(doomed);
+    ASSERT_TRUE(d.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_TRUE(manager.cancel(d.id));
+    ASSERT_TRUE(manager.wait(d.id, 10.0));
+    EXPECT_EQ(manager.status(d.id)->state, JobState::Cancelled);
+    EXPECT_EQ(manager.status(d.id)->error,
+              "deadline exceeded while queued");
+
+    // Cancel first, deadline nowhere near: a plain user cancel.
+    JobRequest roomy = request("road", "pr", "serial");
+    roomy.timeoutSeconds = 100.0;
+    JobManager::Submitted c = manager.submit(roomy);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(manager.cancel(c.id));
+    ASSERT_TRUE(manager.wait(c.id, 10.0));
+    EXPECT_EQ(manager.status(c.id)->error, "cancelled while queued");
+
+    manager.cancel(blocker.id);
+}
+
+TEST_F(ServeTest, TenantQuotaCapsConcurrencyWhileOthersProceed)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 8;
+    cfg.tenantQos["capped"] = {1.0, /*maxInFlight=*/1, 0};
+    JobManager manager(registry, cfg);
+
+    JobRequest first = endlessRequest("web");
+    first.tenant = "capped";
+    JobManager::Submitted e1 = manager.submit(first);
+    ASSERT_TRUE(e1.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(e1.id);
+        return st && st->state == JobState::Running;
+    }));
+
+    // The second capped job is admitted but must hold at Queued even
+    // though a worker is idle: the tenant's in-flight quota is 1.
+    JobRequest second = endlessRequest("road");
+    second.tenant = "capped";
+    JobManager::Submitted e2 = manager.submit(second);
+    ASSERT_TRUE(e2.ok());
+
+    // Another tenant sails past the held job on the free worker.
+    JobRequest other = request("road", "pr", "serial");
+    other.tenant = "other";
+    JobManager::Submitted quick = manager.submit(other);
+    ASSERT_TRUE(quick.ok());
+    EXPECT_TRUE(manager.wait(quick.id, 60.0));
+    EXPECT_EQ(manager.status(quick.id)->state, JobState::Done);
+    EXPECT_EQ(manager.status(e2.id)->state, JobState::Queued);
+
+    // Cancelling the runner frees the quota slot; the held job starts.
+    EXPECT_TRUE(manager.cancel(e1.id));
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(e2.id);
+        return st && st->state == JobState::Running;
+    }));
+    EXPECT_TRUE(manager.cancel(e2.id));
+    ASSERT_TRUE(manager.wait(e2.id, 10.0));
+
+    const auto tenants = manager.tenantStats();
+    ASSERT_TRUE(tenants.count("capped"));
+    ASSERT_TRUE(tenants.count("other"));
+    EXPECT_EQ(tenants.at("capped").cancelled, 2u);
+    EXPECT_EQ(tenants.at("other").completed, 1u);
+}
+
+TEST_F(ServeTest, PressureShedsFloodersNewestJobWithDistinctState)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    JobManager manager(registry, cfg);
+
+    JobRequest flood = endlessRequest("web");
+    flood.tenant = "flood";
+    JobManager::Submitted blocker = manager.submit(flood);
+    ASSERT_TRUE(blocker.ok());
+    ASSERT_TRUE(waitUntil([&] {
+        auto st = manager.status(blocker.id);
+        return st && st->state == JobState::Running;
+    }));
+    JobManager::Submitted f1 = manager.submit(flood);
+    JobManager::Submitted f2 = manager.submit(flood);
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f2.ok());
+
+    // The under-share tenant's submission displaces the flooder's
+    // newest queued job, which fails fast with the distinct Shed state.
+    JobRequest vip = request("road", "pr", "serial");
+    vip.tenant = "vip";
+    JobManager::Submitted v = manager.submit(vip);
+    ASSERT_TRUE(v.ok()) << to_string(v.error);
+    ASSERT_TRUE(manager.wait(f2.id, 10.0));
+    auto shed = manager.status(f2.id);
+    ASSERT_TRUE(shed.has_value());
+    EXPECT_EQ(shed->state, JobState::Shed);
+    EXPECT_NE(shed->error.find("shed"), std::string::npos) << shed->error;
+    EXPECT_EQ(manager.result(f2.id), nullptr);
+    EXPECT_EQ(manager.stats().shed, 1u);
+    EXPECT_EQ(manager.tenantStats().at("flood").shed, 1u);
+
+    // The flooder's own next push is plain backpressure, not a shed.
+    JobManager::Submitted f3 = manager.submit(flood);
+    EXPECT_FALSE(f3.ok());
+    EXPECT_EQ(f3.error, SubmitError::QueueFull);
+
+    manager.cancel(blocker.id);
+    manager.cancel(f1.id);
+    manager.cancel(v.id);
+}
+
+TEST_F(ServeTest, InfeasibleDeadlineIsShedAtAdmission)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 16;
+    cfg.initialServiceEstimateSeconds = 10.0;   // seeded evidence
+    JobManager manager(registry, cfg);
+
+    JobManager::Submitted blocker = manager.submit(endlessRequest("web"));
+    ASSERT_TRUE(blocker.ok());
+    JobManager::Submitted queued = manager.submit(endlessRequest("road"));
+    ASSERT_TRUE(queued.ok());
+
+    // One ~10s job is queued ahead; a 50ms deadline cannot make it.
+    JobRequest doomed = request("road", "pr", "serial");
+    doomed.timeoutSeconds = 0.05;
+    JobManager::Submitted shed = manager.submit(doomed);
+    EXPECT_FALSE(shed.ok());
+    EXPECT_EQ(shed.error, SubmitError::Shed);
+
+    const ServeStats stats = manager.stats();
+    EXPECT_EQ(stats.shedAdmission, 1u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(manager.tenantStats().at("default").shedAdmission, 1u);
+
+    // The same request without a deadline is admitted fine.
+    JobManager::Submitted ok = manager.submit(
+        request("road", "pr", "serial"));
+    EXPECT_TRUE(ok.ok()) << to_string(ok.error);
+
+    manager.cancel(blocker.id);
+    manager.cancel(queued.id);
+    manager.cancel(ok.id);
+}
+
+TEST_F(ServeTest, WarmStartAndCacheCrossTenantBoundaries)
+{
+    // The tenant id buys scheduling fairness, not result isolation:
+    // fingerprints deliberately exclude it, so one tenant's fixpoint
+    // warm-starts (and exact results serve) every other tenant.
+    JobManager manager(registry);
+    std::uint64_t warm_starts = 0, cache_hits = 0;
+    for (const char *algo : {"pr", "sssp"}) {
+        JobRequest coarse = request("web", algo, "serial", 0);
+        coarse.tenant = "alpha";
+        coarse.allowCached = true;
+        coarse.allowWarmStart = true;
+        coarse.options.tolerance = 1e-6;
+        JobManager::Submitted a = manager.submit(coarse);
+        ASSERT_TRUE(a.ok()) << algo;
+        ASSERT_TRUE(manager.wait(a.id, 60.0)) << algo;
+
+        // A different tenant's tighter-tolerance run warm-starts from
+        // alpha's fixpoint...
+        JobRequest fine = coarse;
+        fine.tenant = "beta";
+        fine.options.tolerance = 1e-10;
+        JobManager::Submitted b = manager.submit(fine);
+        ASSERT_TRUE(b.ok()) << algo;
+        ASSERT_TRUE(manager.wait(b.id, 60.0)) << algo;
+        auto bst = manager.status(b.id);
+        ASSERT_TRUE(bst.has_value());
+        EXPECT_EQ(bst->state, JobState::Done) << algo;
+        EXPECT_TRUE(bst->warmStarted) << algo;
+        warm_starts++;
+
+        // ...and a third tenant's identical submission is an exact
+        // cross-tenant cache hit sharing beta's result object.
+        JobRequest same = fine;
+        same.tenant = "gamma";
+        JobManager::Submitted c = manager.submit(same);
+        ASSERT_TRUE(c.ok()) << algo;
+        ASSERT_TRUE(manager.wait(c.id, 60.0)) << algo;
+        EXPECT_TRUE(manager.status(c.id)->cacheHit) << algo;
+        EXPECT_EQ(manager.result(c.id).get(), manager.result(b.id).get())
+            << algo;
+        cache_hits++;
+
+        // The warm-started run still lands on the true fixpoint.
+        auto g = registry.get("web");
+        JobRequest direct = fine;
+        direct.allowCached = false;
+        direct.allowWarmStart = false;
+        direct.options.blockSize = g->blockSize();
+        RunOutcome expected = runAnalyticsJob(*g, direct);
+        ASSERT_TRUE(expected.ok()) << expected.error;
+        auto warm = manager.result(b.id);
+        ASSERT_EQ(warm->values.size(), expected.values.size()) << algo;
+        for (std::size_t vtx = 0; vtx < expected.values.size(); vtx++)
+            EXPECT_NEAR(warm->values[vtx], expected.values[vtx], 1e-8)
+                << algo << " vertex " << vtx;
+    }
+    EXPECT_EQ(manager.stats().warmStarts, warm_starts);
+    EXPECT_EQ(manager.stats().cacheHits, cache_hits);
+    EXPECT_EQ(manager.tenantStats().at("beta").warmStarts, warm_starts);
+    EXPECT_EQ(manager.tenantStats().at("gamma").cacheHits, cache_hits);
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant storm (scaled up in the tsan CI leg via
+// GRAPHABCD_QOS_STRESS_ITERS, like the fragment/accum stress tests).
+
+TEST(ServeQosStress, MultiTenantCancelShedStorm)
+{
+    int iters = 2;
+    if (const char *env = std::getenv("GRAPHABCD_QOS_STRESS_ITERS"))
+        iters = std::max(1, std::atoi(env));
+
+    Rng rng(91);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(120, 700, rng, {.weighted = true}),
+                 32);
+
+    for (int iter = 0; iter < iters; iter++) {
+        ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.queueCapacity = 8;
+        cfg.maxRetainedJobs = 4096;
+        cfg.tenantQos["gold"] = {4.0, 0, 0};
+        cfg.tenantQos["free"] = {1.0, /*maxInFlight=*/1, /*maxQueued=*/4};
+        JobManager manager(registry, cfg);
+
+        std::mutex ids_mtx;
+        std::vector<JobId> ids;
+        std::atomic<bool> storm_done{false};
+
+        auto client = [&](const std::string &tenant, unsigned seed) {
+            std::mt19937 gen(seed);
+            for (int i = 0; i < 40; i++) {
+                JobRequest req;
+                req.graph = "g";
+                req.algo = "pr";
+                req.engine = "serial";
+                req.tenant = tenant;
+                req.options.numThreads = 1;
+                req.allowCached = false;
+                req.allowWarmStart = false;
+                switch (gen() % 4) {
+                case 0:   // endless: cancel bait
+                    req.options.tolerance = -1.0;
+                    req.options.maxEpochs = 1e9;
+                    break;
+                case 1:   // doomed deadline: shed or deadline-cancel
+                    req.timeoutSeconds = 0.001;
+                    break;
+                default:   // quick real job
+                    break;
+                }
+                JobManager::Submitted sub = manager.submit(req);
+                if (sub.ok()) {
+                    std::lock_guard<std::mutex> lock(ids_mtx);
+                    ids.push_back(sub.id);
+                }
+                if (gen() % 8 == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(500));
+                }
+            }
+        };
+        std::vector<std::thread> clients;
+        clients.emplace_back(client, "gold", 1000u + iter);
+        clients.emplace_back(client, "gold", 2000u + iter);
+        clients.emplace_back(client, "free", 3000u + iter);
+        clients.emplace_back(client, "free", 4000u + iter);
+        std::thread canceller([&] {
+            std::mt19937 gen(5000u + iter);
+            while (!storm_done.load(std::memory_order_acquire)) {
+                JobId id = 0;
+                {
+                    std::lock_guard<std::mutex> lock(ids_mtx);
+                    if (!ids.empty())
+                        id = ids[gen() % ids.size()];
+                }
+                if (id != 0)
+                    manager.cancel(id);
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        });
+        for (auto &t : clients)
+            t.join();
+        storm_done.store(true, std::memory_order_release);
+        canceller.join();
+
+        // Drain: cancel whatever is left, then wait for every admitted
+        // job to reach a terminal state.
+        for (JobId id : ids)
+            manager.cancel(id);
+        for (JobId id : ids)
+            ASSERT_TRUE(manager.wait(id, 60.0)) << "job " << id;
+
+        // Cancelled queue entries are removed lazily (workers pop and
+        // skip them), so give the gauges a moment to drain to zero.
+        EXPECT_TRUE(waitUntil([&] {
+            const ServeStats st = manager.stats();
+            return st.queueDepth == 0 && st.running == 0;
+        })) << "iter " << iter;
+
+        // Conservation: every submission is accounted for exactly once.
+        const ServeStats s = manager.stats();
+        EXPECT_EQ(s.submitted, s.rejected + s.completed + s.cancelled +
+                                   s.failed + s.shed)
+            << "iter " << iter;
+        EXPECT_EQ(s.failed, 0u) << "iter " << iter;
+
+        // The per-tenant slices sum to the global counters.
+        TenantServeStats sum;
+        for (const auto &[tenant, ts] : manager.tenantStats()) {
+            sum.submitted += ts.submitted;
+            sum.rejected += ts.rejected;
+            sum.completed += ts.completed;
+            sum.cancelled += ts.cancelled;
+            sum.failed += ts.failed;
+            sum.shed += ts.shed;
+            sum.shedAdmission += ts.shedAdmission;
+            sum.cacheHits += ts.cacheHits;
+            sum.warmStarts += ts.warmStarts;
+            EXPECT_EQ(ts.queued, 0u) << tenant << " iter " << iter;
+            EXPECT_EQ(ts.running, 0u) << tenant << " iter " << iter;
+        }
+        EXPECT_EQ(sum.submitted, s.submitted) << "iter " << iter;
+        EXPECT_EQ(sum.rejected, s.rejected) << "iter " << iter;
+        EXPECT_EQ(sum.completed, s.completed) << "iter " << iter;
+        EXPECT_EQ(sum.cancelled, s.cancelled) << "iter " << iter;
+        EXPECT_EQ(sum.failed, s.failed) << "iter " << iter;
+        EXPECT_EQ(sum.shed, s.shed) << "iter " << iter;
+        EXPECT_EQ(sum.shedAdmission, s.shedAdmission) << "iter " << iter;
+        EXPECT_EQ(sum.cacheHits, s.cacheHits) << "iter " << iter;
+        EXPECT_EQ(sum.warmStarts, s.warmStarts) << "iter " << iter;
+    }
 }
 
 TEST_F(ServeTest, ShutdownCancelsOutstandingJobs)

@@ -9,18 +9,26 @@
  *        [undirected=0|1] [seed=N] [layout=plain|compressed]
  *        [reorder=none|hub]
  *   RUN <graph> <algo> [engine=serial|async|fragment|accum|sim]
- *       [source=N] [priority=F] [timeout=F] [tolerance=F]
- *       [schedule=cyclic|priority|random|obim]
+ *       [tenant=NAME] [source=N] [priority=F] [timeout=F]
+ *       [tolerance=F] [schedule=cyclic|priority|random|obim]
  *       [threads=N] [fragments=N] [max-epochs=F] [cached=0|1]
  *       [warm=0|1]
  *   STATUS <job-id>
  *   WAIT <job-id> [timeout-seconds]
  *   CANCEL <job-id>
  *   VALUE <job-id> <vertex>
+ *   TENANTS               per-tenant QoS counters and gauges
  *   TRACE <file>          write the trace buffer as Chrome JSON
  *   METRICS               Prometheus text exposition of the registry
  *   CONV <job-id> [file]  the job's convergence curve as CSV
  *   GRAPHS | STATS | HELP | QUIT
+ *
+ * Multi-tenant QoS: --tenants=name:weight[:inflight[:queued]],...
+ * configures per-tenant fair-share weights and quotas (e.g.
+ * --tenants=gold:4,free:1:2:8), --default-weight the weight of
+ * unlisted tenants, and --shed-deadline=0 disables admission-time
+ * deadline shedding.  RUN tenant=NAME files the job in that tenant's
+ * lane; omitted means the shared "default" lane.
  *
  * With --metrics-port=N the same exposition (plus /series and
  * /convergence) is served over loopback HTTP for scrapes, and
@@ -146,6 +154,8 @@ class ServeShell
                 graphs();
             else if (cmd == "STATS")
                 stats();
+            else if (cmd == "TENANTS")
+                tenants();
             else if (cmd == "TRACE")
                 trace(tokens);
             else if (cmd == "METRICS")
@@ -169,7 +179,7 @@ class ServeShell
     {
         std::printf(
             "OK commands: LOAD RUN STATUS WAIT CANCEL VALUE GRAPHS "
-            "STATS TRACE METRICS CONV HELP QUIT\n");
+            "STATS TENANTS TRACE METRICS CONV HELP QUIT\n");
     }
 
     void
@@ -252,6 +262,7 @@ class ServeShell
         req.graph = tokens[1];
         req.algo = tokens[2];
         req.engine = param(params, "engine", std::string("serial"));
+        req.tenant = param(params, "tenant", std::string());
         req.source =
             static_cast<VertexId>(param(params, "source", 0.0));
         req.priority = param(params, "priority", 0.0);
@@ -284,11 +295,12 @@ class ServeShell
     printStatus(const JobStatus &st)
     {
         std::printf(
-            "OK job %llu state=%s converged=%d cachehit=%d warm=%d "
-            "epochs=%.2f blocks=%llu edges=%llu scatters=%llu "
+            "OK job %llu state=%s tenant=%s converged=%d cachehit=%d "
+            "warm=%d epochs=%.2f blocks=%llu edges=%llu scatters=%llu "
             "queued=%.3fs run=%.3fs%s%s\n",
             static_cast<unsigned long long>(st.id),
-            to_string(st.state), st.converged ? 1 : 0,
+            to_string(st.state), st.tenant.c_str(),
+            st.converged ? 1 : 0,
             st.cacheHit ? 1 : 0, st.warmStarted ? 1 : 0, st.epochs,
             static_cast<unsigned long long>(st.blockUpdates),
             static_cast<unsigned long long>(st.edgeTraversals),
@@ -396,19 +408,47 @@ class ServeShell
     }
 
     void
+    tenants()
+    {
+        const auto per_tenant = manager_.tenantStats();
+        std::printf("OK %zu tenants\n", per_tenant.size());
+        for (const auto &[tenant, t] : per_tenant) {
+            std::printf(
+                "  %s submitted=%llu completed=%llu rejected=%llu "
+                "cancelled=%llu failed=%llu shed=%llu shedadm=%llu "
+                "cachehits=%llu warmstarts=%llu queued=%zu "
+                "running=%zu\n",
+                tenant.c_str(),
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.rejected),
+                static_cast<unsigned long long>(t.cancelled),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.shed),
+                static_cast<unsigned long long>(t.shedAdmission),
+                static_cast<unsigned long long>(t.cacheHits),
+                static_cast<unsigned long long>(t.warmStarts),
+                t.queued, t.running);
+        }
+    }
+
+    void
     stats()
     {
         const ServeStats s = manager_.stats();
         const ResultCache::Stats c = manager_.cache().stats();
         std::printf(
             "OK submitted=%llu rejected=%llu completed=%llu "
-            "cancelled=%llu failed=%llu cachehits=%llu "
-            "warmstarts=%llu queued=%zu running=%zu hitrate=%.2f\n",
+            "cancelled=%llu failed=%llu shed=%llu shedadm=%llu "
+            "cachehits=%llu warmstarts=%llu queued=%zu running=%zu "
+            "hitrate=%.2f\n",
             static_cast<unsigned long long>(s.submitted),
             static_cast<unsigned long long>(s.rejected),
             static_cast<unsigned long long>(s.completed),
             static_cast<unsigned long long>(s.cancelled),
             static_cast<unsigned long long>(s.failed),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.shedAdmission),
             static_cast<unsigned long long>(s.cacheHits),
             static_cast<unsigned long long>(s.warmStarts),
             s.queueDepth, s.running, c.hitRate());
@@ -514,6 +554,19 @@ main(int argc, char **argv)
     flags.declareInt("queue", 16, "admission queue capacity");
     flags.declareInt("cache", 64, "result cache entries");
     flags.declareDouble("ttl", 300.0, "result cache TTL seconds");
+    flags.declare("tenants", "",
+                  "per-tenant QoS spec "
+                  "name:weight[:inflight[:queued]],... "
+                  "(e.g. gold:4,free:1:2:8)");
+    flags.declareDouble("default-weight", 1.0,
+                        "fair-share weight of unlisted tenants");
+    flags.declareBool("shed-deadline", true,
+                      "shed jobs at admission when the estimated "
+                      "queue wait alone would blow their deadline");
+    flags.declareDouble("service-estimate", 0.0,
+                        "seed for the per-job service-seconds "
+                        "estimate the deadline shedder uses (0 = "
+                        "learn from measured runs only)");
     flags.declareBool("echo", false, "echo commands (for transcripts)");
     flags.declareBool("trace", true,
                       "record trace events for the TRACE verb");
@@ -539,6 +592,18 @@ main(int argc, char **argv)
     cfg.cacheTtlSeconds = flags.getDouble("ttl");
     cfg.poolThreads =
         static_cast<std::uint32_t>(flags.getInt("pool-threads"));
+    cfg.defaultQos.weight = flags.getDouble("default-weight");
+    cfg.shedOnDeadline = flags.getBool("shed-deadline");
+    cfg.initialServiceEstimateSeconds =
+        flags.getDouble("service-estimate");
+    if (!flags.get("tenants").empty()) {
+        std::string spec_error;
+        if (!parseTenantQosSpecs(flags.get("tenants"), &cfg.tenantQos,
+                                 &spec_error)) {
+            std::printf("ERR BadFlag %s\n", spec_error.c_str());
+            return 1;
+        }
+    }
 
     obs::setTracingEnabled(flags.getBool("trace"));
     if (!flags.get("log-level").empty())

@@ -44,11 +44,13 @@ run_preset() {
 
     # The obs-off build must still compile and pass the compressed
     # layout paths (the bytes-moved tallies are plain atomics, not obs
-    # instrumentation, so they work in both builds).
+    # instrumentation, so they work in both builds), and the tenant QoS
+    # admission path (per-tenant gauges/histograms compile out but the
+    # fair-share scheduling itself must not change).
     if [ "${preset}" = "obsoff" ]; then
         echo "== layout equivalence (${preset}) =="
         "./build-obsoff/tests/abcd_tests" \
-            --gtest_filter='Layout*:Codec*'
+            --gtest_filter='Layout*:Codec*:FairShareQueue.*:ServeQosStress.*'
     fi
 
     if [ "${preset}" = "tsan" ]; then
@@ -65,6 +67,14 @@ run_preset() {
         GRAPHABCD_ACCUM_STRESS_ITERS=24 \
             "./build-tsan/tests/abcd_tests" \
             --gtest_filter='AccumStress.*'
+
+        # The serve layer's cancel/cache-hit/shed races are guarded by
+        # finishJob's terminal CAS; rerun the multi-tenant storm heavier
+        # so TSan sees many submit/cancel/pop/displace interleavings.
+        echo "== serve qos stress (${preset}) =="
+        GRAPHABCD_QOS_STRESS_ITERS=12 \
+            "./build-tsan/tests/abcd_tests" \
+            --gtest_filter='ServeQosStress.*'
     fi
 
     echo "== ${preset}: OK =="
