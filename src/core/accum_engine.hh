@@ -541,6 +541,9 @@ class AccumEngine
     EngineReport
     runParallel(const Timer &timer)
     {
+        // Root span of this engine run; under the serve layer it nests
+        // into the submitting job's causal tree.
+        obs::Span run_span("engine.accum.run");
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         const std::uint32_t participation =

@@ -202,6 +202,9 @@ class AsyncEngine
     runAsync(bool barrier_per_block)
     {
         Timer timer;
+        // Root span of this engine run; under the serve layer it nests
+        // into the submitting job's causal tree.
+        obs::Span run_span("engine.async.run");
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),
@@ -498,6 +501,7 @@ class AsyncEngine
         // barrier (Job::wait) per iteration; commits go to a double
         // buffer.
         Timer timer;
+        obs::Span run_span("engine.bsp.run");
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),

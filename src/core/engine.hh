@@ -234,6 +234,9 @@ class SerialEngine
                    const StopFn &stop_fn)
     {
         Timer timer;
+        // Root span of this engine run; under the serve layer it nests
+        // into the submitting job's causal tree.
+        obs::Span run_span("engine.serial.run");
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),
@@ -296,6 +299,7 @@ class SerialEngine
               const StopFn &stop_fn)
     {
         Timer timer;
+        obs::Span run_span("engine.serial.run");
         EngineReport report;
         const double n = std::max<double>(graph.numVertices(), 1.0);
         auto sched = makeScheduler(options.schedule, graph.numBlocks(),

@@ -102,6 +102,10 @@ class FragmentEngine
     run(std::vector<Value> &out_values)
     {
         Timer timer;
+        // Root span of this engine run; under the serve layer it nests
+        // into the submitting job's causal tree, and each productive
+        // fragment pump records a child span below (participantLoop).
+        obs::Span run_span("engine.fragment.run");
         EngineReport report;
         const FragmentId nFrags = topology_.numFragments();
         const double n = std::max<double>(graph.numVertices(), 1.0);
@@ -340,7 +344,24 @@ class FragmentEngine
                     if (fc.claimed.exchange(
                             true, std::memory_order_acq_rel))
                         continue;   // another runner owns it right now
-                    any |= pumpOnce(fc, f, batch_buf);
+                    // Record productive pumps as child spans of the
+                    // ambient context (the executor task adopted the
+                    // job's tree).  Timed manually so idle sweeps — the
+                    // overwhelming majority near quiescence — cost two
+                    // clock reads at most and record nothing.
+                    bool did;
+                    if (obs::tracingEnabled()) {
+                        const double t0 = obs::traceNowMicros();
+                        did = pumpOnce(fc, f, batch_buf);
+                        if (did) {
+                            obs::completeSpan("fragment.pump", t0,
+                                              obs::traceNowMicros() - t0,
+                                              obs::childSpan());
+                        }
+                    } else {
+                        did = pumpOnce(fc, f, batch_buf);
+                    }
+                    any |= did;
                     fc.claimed.store(false, std::memory_order_release);
                     if (done.load(std::memory_order_relaxed))
                         break;

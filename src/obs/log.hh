@@ -186,6 +186,19 @@ class Logger
         sink_ = std::move(sink);
     }
 
+    /**
+     * Secondary observer: sees every emitted line *in addition to* the
+     * sink/stderr (the FlightRecorder keeps its recent-log window this
+     * way).  Runs under the logger mutex — it must not log and must not
+     * block; null removes it.
+     */
+    void
+    setTap(std::function<void(LogLevel, const std::string &)> tap)
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        tap_ = std::move(tap);
+    }
+
     /** Format one event and emit it as a single line. */
     void
     write(LogLevel level, const char *component, const char *msg,
@@ -198,6 +211,8 @@ class Logger
                                              fields, n_fields);
         line.push_back('\n');
         std::lock_guard<std::mutex> lock(mtx_);
+        if (tap_)
+            tap_(level, line);
         if (sink_) {
             sink_(line);
         } else {
@@ -301,7 +316,39 @@ class Logger
     std::atomic<bool> json_{false};
     std::mutex mtx_;
     std::function<void(const std::string &)> sink_;
+    std::function<void(LogLevel, const std::string &)> tap_;
 };
+
+/**
+ * Fatal-error hook: a plain function pointer support/logging.hh's
+ * fatal() fires just before throwing, so the FlightRecorder can dump
+ * its black box while the failing state still exists.  A function
+ * pointer (not std::function) keeps this header dependency-free for
+ * src/support, which must not link abcd_obs; it is defined in both
+ * build modes because fatal() itself survives GRAPHABCD_OBS=OFF —
+ * nothing arms it there, so notifyFatal() stays a no-op load.
+ */
+using FatalHook = void (*)(const char *message);
+
+inline std::atomic<FatalHook> &
+fatalHookSlot()
+{
+    static std::atomic<FatalHook> slot{nullptr};
+    return slot;
+}
+
+inline void
+setFatalHook(FatalHook hook)
+{
+    fatalHookSlot().store(hook, std::memory_order_release);
+}
+
+inline void
+notifyFatal(const char *message)
+{
+    if (FatalHook hook = fatalHookSlot().load(std::memory_order_acquire))
+        hook(message);
+}
 
 /** Emit one event if `level` clears the logger's threshold. */
 template <typename... Fields>

@@ -44,6 +44,13 @@ Histogram::snapshot() const
         snap.min = min_.load(std::memory_order_relaxed);
         snap.max = max_.load(std::memory_order_relaxed);
     }
+    {
+        std::lock_guard<std::mutex> lock(exemplarMtx_);
+        snap.hasExemplar = hasExemplar_;
+        snap.exemplarValue = exemplarValue_;
+        snap.exemplarJob = exemplarJob_;
+        snap.exemplarSpan = exemplarSpan_;
+    }
     return snap;
 }
 
@@ -74,6 +81,11 @@ Histogram::reset()
                std::memory_order_relaxed);
     max_.store(-std::numeric_limits<double>::infinity(),
                std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(exemplarMtx_);
+    hasExemplar_ = false;
+    exemplarValue_ = 0.0;
+    exemplarJob_ = 0;
+    exemplarSpan_ = 0;
 }
 
 // ------------------------------------------------------- MetricsRegistry
@@ -131,7 +143,13 @@ MetricsRegistry::dump() const
            << " sum=" << snap.sum << " mean=" << snap.mean()
            << " min=" << snap.min << " max=" << snap.max
            << " p50=" << snap.quantile(0.5)
-           << " p99=" << snap.quantile(0.99) << "\n";
+           << " p99=" << snap.quantile(0.99);
+        if (snap.hasExemplar) {
+            os << " ex=" << snap.exemplarValue
+               << " ex_job=" << snap.exemplarJob
+               << " ex_span=" << snap.exemplarSpan;
+        }
+        os << "\n";
     }
     return os.str();
 }

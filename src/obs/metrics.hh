@@ -134,6 +134,14 @@ class Histogram
         double min = 0.0;   //!< meaningful only when count > 0
         double max = 0.0;   //!< meaningful only when count > 0
 
+        // Most recent exemplar (recordExemplar): one concrete sample
+        // with the job/span that produced it, so a latency outlier in
+        // the histogram links back to its trace tree.
+        bool hasExemplar = false;
+        double exemplarValue = 0.0;
+        std::uint64_t exemplarJob = 0;
+        std::uint64_t exemplarSpan = 0;
+
         double
         mean() const
         {
@@ -162,6 +170,24 @@ class Histogram
         detail::atomicMax(max_, x);
     }
 
+    /**
+     * Count one sample and attach it as the histogram's exemplar — a
+     * last-write-wins (value, job, span) triple linking the histogram
+     * back to the causal trace (obs/span.hh).  The exemplar update
+     * takes a small mutex, so use it only on cold per-job paths (queue
+     * wait, whole-run latency), never per block.
+     */
+    void
+    recordExemplar(double x, std::uint64_t job, std::uint64_t span)
+    {
+        record(x);
+        std::lock_guard<std::mutex> lock(exemplarMtx_);
+        exemplarValue_ = x;
+        exemplarJob_ = job;
+        exemplarSpan_ = span;
+        hasExemplar_ = true;
+    }
+
     Snapshot snapshot() const;
     void reset();
 
@@ -186,6 +212,12 @@ class Histogram
     std::atomic<double> sum_{0.0};
     std::atomic<double> min_;
     std::atomic<double> max_;
+
+    mutable std::mutex exemplarMtx_;   //!< guards the exemplar triple
+    bool hasExemplar_ = false;
+    double exemplarValue_ = 0.0;
+    std::uint64_t exemplarJob_ = 0;
+    std::uint64_t exemplarSpan_ = 0;
 };
 
 /**

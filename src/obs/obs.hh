@@ -23,6 +23,7 @@
 #define GRAPHABCD_OBS_OBS_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,8 +32,14 @@
 #define GRAPHABCD_OBS_ENABLED 1
 #endif
 
+// Self-gated headers (they carry their own OFF stubs): the causal span
+// context and the stall watchdog surface exist in both build modes.
+#include "obs/span.hh"
+#include "obs/watchdog.hh"
+
 #if GRAPHABCD_OBS_ENABLED
 #include "obs/convergence.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/prometheus.hh"
 #include "obs/sampler.hh"
@@ -70,23 +77,48 @@ histogram(const char *name, std::vector<double> upper_bounds)
                                                std::move(upper_bounds));
 }
 
-/** Span against the global TraceRecorder. */
-class Span
-{
-  public:
-    explicit Span(const char *name)
-        : span_(TraceRecorder::global(), name)
-    {
-    }
-
-  private:
-    TraceSpan span_;
-};
+/**
+ * Causal span against the global TraceRecorder: child of the thread's
+ * ambient context, exported with job/span/parent args (obs/span.hh).
+ */
+using Span = CausalSpan;
 
 inline void
 instant(const char *name)
 {
     TraceRecorder::global().instant(name);
+}
+
+/** Instant event attributed to a specific span context. */
+inline void
+instantSpan(const char *name, const SpanContext &ctx)
+{
+    TraceRecorder::global().instant(name, ctx.job, ctx.span, ctx.parent);
+}
+
+/** Record a finished span with an explicit context and timestamps —
+ *  for spans whose lifetime does not fit a C++ scope (queue wait,
+ *  whole-job envelope). */
+inline void
+completeSpan(const char *name, double start_us, double dur_us,
+             const SpanContext &ctx)
+{
+    TraceRecorder::global().complete(name, start_us, dur_us, ctx.job,
+                                     ctx.span, ctx.parent);
+}
+
+/** @return whether the global recorder is currently recording. */
+inline bool
+tracingEnabled()
+{
+    return TraceRecorder::global().enabled();
+}
+
+/** @return the recorder's clock (manual span timing). */
+inline double
+traceNowMicros()
+{
+    return TraceRecorder::nowMicros();
 }
 
 /** Records elapsed microseconds into a histogram on scope exit. */
@@ -198,6 +230,55 @@ samplerCsv()
     return Sampler::global().csv();
 }
 
+/** Arm the flight recorder: default dump path + log tap + fatal hook. */
+inline void
+flightArm(std::string path)
+{
+    FlightRecorder::global().arm(std::move(path));
+}
+
+/** Install fatal-signal handlers that dump the armed flight recorder. */
+inline void
+flightArmSignals()
+{
+    FlightRecorder::global().armSignals();
+}
+
+/** Remove the flight recorder's tap/hook and forget the path. */
+inline void
+flightDisarm()
+{
+    FlightRecorder::global().disarm();
+}
+
+/** Dump the black box to an explicit path (works without arming). */
+inline bool
+flightDump(const std::string &path, const std::string &reason)
+{
+    return FlightRecorder::global().dump(path, reason);
+}
+
+/** Append a free-form note to the flight recorder's window. */
+inline void
+flightNote(const char *component, std::string text)
+{
+    FlightRecorder::global().note(component, std::move(text));
+}
+
+/** Register / remove a named JSON snapshot provider (see flight.hh). */
+inline std::uint64_t
+flightAddProvider(std::string name, std::function<std::string()> fn)
+{
+    return FlightRecorder::global().addProvider(std::move(name),
+                                                std::move(fn));
+}
+
+inline void
+flightRemoveProvider(std::uint64_t token)
+{
+    FlightRecorder::global().removeProvider(token);
+}
+
 #else // !GRAPHABCD_OBS_ENABLED
 
 inline constexpr bool kEnabled = false;
@@ -219,6 +300,7 @@ struct Gauge
 struct Histogram
 {
     void record(double) const {}
+    void recordExemplar(double, std::uint64_t, std::uint64_t) const {}
 };
 
 inline Counter &
@@ -242,14 +324,33 @@ histogram(const char *, std::vector<double>)
     return h;
 }
 
-struct Span
-{
-    explicit Span(const char *) {}
-};
+using Span = CausalSpan;   // the span.hh no-op stub
 
 inline void
 instant(const char *)
 {
+}
+
+inline void
+instantSpan(const char *, const SpanContext &)
+{
+}
+
+inline void
+completeSpan(const char *, double, double, const SpanContext &)
+{
+}
+
+inline constexpr bool
+tracingEnabled()
+{
+    return false;
+}
+
+inline double
+traceNowMicros()
+{
+    return 0.0;
 }
 
 struct ScopedLatency
@@ -355,7 +456,74 @@ samplerCsv()
     return {};
 }
 
+inline void
+flightArm(std::string)
+{
+}
+
+inline void
+flightArmSignals()
+{
+}
+
+inline void
+flightDisarm()
+{
+}
+
+inline bool
+flightDump(const std::string &, const std::string &)
+{
+    return false;
+}
+
+inline void
+flightNote(const char *, std::string)
+{
+}
+
+inline std::uint64_t
+flightAddProvider(std::string, std::function<std::string()>)
+{
+    return 0;
+}
+
+inline void
+flightRemoveProvider(std::uint64_t)
+{
+}
+
 #endif // GRAPHABCD_OBS_ENABLED
+
+/**
+ * Make an externally supplied string (a tenant name) safe to embed in
+ * a metric key: anything outside [A-Za-z0-9_.:-] becomes '_', the
+ * result is truncated to 64 chars and never empty.  Without this, a
+ * tenant named `evil"\n` would corrupt the Prometheus exposition the
+ * key is later rendered into (prometheusName() re-sanitises for the
+ * exposition charset, but spaces/quotes/newlines must die here so the
+ * registry key itself — and the plain dump() output — stays one
+ * token).  Distinct raw names may collide after sanitisation; QoS
+ * accounting keys on the raw name, only the metrics alias.
+ */
+inline std::string
+sanitizeMetricComponent(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '-' || c == '.' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty())
+        out = "_";
+    if (out.size() > 64)
+        out.resize(64);
+    return out;
+}
 
 /** Shared bucket layouts, so dashboards can compare like with like. */
 inline std::vector<double>

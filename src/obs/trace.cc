@@ -4,6 +4,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.hh"
+
 namespace graphabcd {
 
 TraceRecorder &
@@ -56,13 +58,31 @@ TraceRecorder::trackRing(std::uint32_t track)
 void
 TraceRecorder::pushInto(Ring &ring, const TraceEvent &event)
 {
-    std::lock_guard<std::mutex> lock(ring.mtx);
-    ring.events[ring.next] = event;
-    ring.next++;
-    if (ring.next == ring.events.size()) {
-        ring.next = 0;
-        ring.wrapped = true;
+    bool overwrote = false;
+    {
+        std::lock_guard<std::mutex> lock(ring.mtx);
+        overwrote = ring.wrapped;   // this push replaces the oldest
+        ring.events[ring.next] = event;
+        ring.next++;
+        if (ring.next == ring.events.size()) {
+            ring.next = 0;
+            ring.wrapped = true;
+        }
     }
+    if (overwrote)
+        noteDropped();
+}
+
+void
+TraceRecorder::noteDropped()
+{
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Mirror into the registry so drop pressure shows up on /metrics.
+    // Resolved once (registration takes a mutex); test recorders share
+    // the same process-wide counter, which is fine for a loss signal.
+    static Counter &counter =
+        MetricsRegistry::global().counter("obs.trace.dropped");
+    counter.add(1);
 }
 
 void
@@ -102,6 +122,7 @@ TraceRecorder::clear()
             ring->wrapped = false;
         }
     }
+    dropped_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -163,6 +184,11 @@ TraceRecorder::writeChromeTrace(std::ostream &os) const
             os << ",\"dur\":" << fe.event.durMicros;
         else if (fe.event.phase == 'i')
             os << ",\"s\":\"t\"";
+        if (fe.event.span != 0) {
+            os << ",\"args\":{\"job\":" << fe.event.job
+               << ",\"span\":" << fe.event.span
+               << ",\"parent\":" << fe.event.parent << "}";
+        }
         os << ",\"pid\":0,\"tid\":" << fe.tid << "}";
     }
     os << "\n]}\n";

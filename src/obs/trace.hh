@@ -36,13 +36,19 @@
 
 namespace graphabcd {
 
-/** One recorded event (32 bytes). */
+/** One recorded event. */
 struct TraceEvent
 {
     const char *name = nullptr; //!< static string
     double tsMicros = 0.0;      //!< start time, process-relative
     double durMicros = 0.0;     //!< span length; 0 for instants
     char phase = 'X';           //!< 'X' complete span, 'i' instant
+    // Causal span ids (obs/span.hh); all 0 for anonymous events.
+    // Exported as Chrome event args {"job","span","parent"} so a
+    // viewer can reassemble one tree per serve job.
+    std::uint64_t job = 0;      //!< owning serve JobId
+    std::uint64_t span = 0;     //!< span id; 0 = no span attached
+    std::uint64_t parent = 0;   //!< parent span id; 0 = tree root
 };
 
 /** Per-thread ring buffers + Chrome trace_event JSON export. */
@@ -83,12 +89,32 @@ class TraceRecorder
             push(TraceEvent{name, start_us, dur_us, 'X'});
     }
 
+    /** Record a finished span carrying causal ids (obs/span.hh). */
+    void
+    complete(const char *name, double start_us, double dur_us,
+             std::uint64_t job, std::uint64_t span, std::uint64_t parent)
+    {
+        if (enabled())
+            push(TraceEvent{name, start_us, dur_us, 'X', job, span,
+                            parent});
+    }
+
     /** Record an instant event (no-op while disabled). */
     void
     instant(const char *name)
     {
         if (enabled())
             push(TraceEvent{name, nowMicros(), 0.0, 'i'});
+    }
+
+    /** Record an instant event carrying causal ids. */
+    void
+    instant(const char *name, std::uint64_t job, std::uint64_t span,
+            std::uint64_t parent)
+    {
+        if (enabled())
+            push(TraceEvent{name, nowMicros(), 0.0, 'i', job, span,
+                            parent});
     }
 
     /**
@@ -118,6 +144,18 @@ class TraceRecorder
     /** @return retained events across all thread rings. */
     std::size_t eventCount() const;
 
+    /**
+     * Events lost to ring overwrite since construction (or the last
+     * clear()).  A wrapped ring silently replaces its oldest event on
+     * every push; this counter makes that loss visible — the global
+     * recorder also mirrors it into the `obs.trace.dropped` counter so
+     * /metrics shows when a trace window was too small.
+     */
+    std::uint64_t droppedCount() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
     /** Drop all retained events (rings stay registered). */
     void clear();
 
@@ -144,12 +182,14 @@ class TraceRecorder
 
     Ring &threadRing();
     Ring &trackRing(std::uint32_t track);
-    static void pushInto(Ring &ring, const TraceEvent &event);
+    void pushInto(Ring &ring, const TraceEvent &event);
     void push(const TraceEvent &event);
     void pushOnTrack(std::uint32_t track, const TraceEvent &event);
+    void noteDropped();
 
     const std::size_t ringCapacity_;
     std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> dropped_{0};
     mutable std::mutex registerMtx_;   //!< rings_/tracks_ growth only
     std::vector<std::shared_ptr<Ring>> rings_;
     std::vector<std::shared_ptr<Ring>> tracks_;  //!< index = track id

@@ -1,0 +1,202 @@
+#include "obs/watchdog.hh"
+
+#if GRAPHABCD_OBS_ENABLED
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/flight.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "support/timer.hh"
+
+namespace graphabcd {
+namespace obs {
+
+StallWatchdog::StallWatchdog() : StallWatchdog(Config()) {}
+
+StallWatchdog::StallWatchdog(Config config) : cfg_(config) {}
+
+StallWatchdog::~StallWatchdog()
+{
+    stop();
+}
+
+void
+StallWatchdog::start()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (running_)
+        return;
+    running_ = true;
+    stopRequested_ = false;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+StallWatchdog::stop()
+{
+    std::thread joinable;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        if (!running_)
+            return;
+        running_ = false;
+        stopRequested_ = true;
+        joinable = std::move(thread_);
+    }
+    cv_.notify_all();
+    if (joinable.joinable())
+        joinable.join();
+}
+
+void
+StallWatchdog::watch(std::uint64_t id, std::string label,
+                     ProgressFn progress, StallFn on_stall)
+{
+    Entry entry;
+    entry.label = std::move(label);
+    entry.progress = std::move(progress);
+    entry.onStall = std::move(on_stall);
+    entry.lastValue = entry.progress ? entry.progress() : 0;
+    entry.lastChangeAt = monotonicSeconds();
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto [it, inserted] = tasks_.insert_or_assign(id, std::move(entry));
+    (void)it;
+    (void)inserted;
+}
+
+void
+StallWatchdog::unwatch(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto it = tasks_.find(id);
+    if (it == tasks_.end())
+        return;
+    if (it->second.flagged && flagged_ > 0)
+        flagged_--;
+    tasks_.erase(it);
+    MetricsRegistry::global()
+        .gauge(cfg_.stalledGaugeName)
+        .set(static_cast<double>(flagged_));
+}
+
+void
+StallWatchdog::pollNow()
+{
+    checkOnce();
+}
+
+std::uint64_t
+StallWatchdog::stallEvents() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return events_;
+}
+
+std::size_t
+StallWatchdog::flaggedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return flagged_;
+}
+
+bool
+StallWatchdog::isFlagged(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    auto it = tasks_.find(id);
+    return it != tasks_.end() && it->second.flagged;
+}
+
+void
+StallWatchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mtx_);
+    for (;;) {
+        cv_.wait_for(lock,
+                     std::chrono::duration<double>(
+                         cfg_.checkSeconds > 0.0 ? cfg_.checkSeconds
+                                                 : 0.25),
+                     [this] { return stopRequested_; });
+        if (stopRequested_)
+            return;
+        lock.unlock();
+        checkOnce();
+        lock.lock();
+    }
+}
+
+void
+StallWatchdog::checkOnce()
+{
+    struct Fired
+    {
+        std::uint64_t id;
+        std::string label;
+        std::string diagnosis;
+        StallFn onStall;
+    };
+    std::vector<Fired> fired;
+    std::vector<std::pair<std::uint64_t, std::string>> recovered;
+    std::size_t flagged_now = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        const double now = monotonicSeconds();
+        for (auto &[id, entry] : tasks_) {
+            const std::uint64_t cur =
+                entry.progress ? entry.progress() : 0;
+            if (cur != entry.lastValue) {
+                entry.lastValue = cur;
+                entry.lastChangeAt = now;
+                if (entry.flagged) {
+                    entry.flagged = false;
+                    if (flagged_ > 0)
+                        flagged_--;
+                    recovered.emplace_back(id, entry.label);
+                }
+                continue;
+            }
+            const double flat = now - entry.lastChangeAt;
+            if (!entry.flagged && flat >= cfg_.windowSeconds) {
+                entry.flagged = true;
+                flagged_++;
+                events_++;
+                std::ostringstream diag;
+                diag << "no progress for " << flat << " s (window "
+                     << cfg_.windowSeconds << " s, counter stuck at "
+                     << cur << ")";
+                fired.push_back(
+                    Fired{id, entry.label, diag.str(), entry.onStall});
+            }
+        }
+        flagged_now = flagged_;
+    }
+
+    MetricsRegistry::global()
+        .gauge(cfg_.stalledGaugeName)
+        .set(static_cast<double>(flagged_now));
+
+    for (const auto &[id, label] : recovered) {
+        GRAPHABCD_LOG_INFO("watchdog", "task recovered", LOGF("id", id),
+                           LOGF("label", label));
+    }
+    for (Fired &f : fired) {
+        MetricsRegistry::global().counter(cfg_.eventsCounterName).add(1);
+        GRAPHABCD_LOG_WARN("watchdog", "task stalled", LOGF("id", f.id),
+                           LOGF("label", f.label),
+                           LOGF("diagnosis", f.diagnosis));
+        if (f.onStall)
+            f.onStall(f.diagnosis);
+        if (cfg_.dumpFlightOnStall) {
+            FlightRecorder::global().dumpIfArmed(
+                "stall: " + f.label + ": " + f.diagnosis);
+        }
+    }
+}
+
+} // namespace obs
+} // namespace graphabcd
+
+#endif // GRAPHABCD_OBS_ENABLED

@@ -137,7 +137,15 @@ Executor::workerLoop(std::uint32_t self)
                     queued.load(std::memory_order_relaxed)));
             if (stolen)
                 nSteals.fetch_add(1, std::memory_order_relaxed);
-            task.fn();
+            {
+                // Adopt the submitter's span context for the task's
+                // duration, and wrap the task itself in a span so the
+                // per-task slice shows up under the submitting job's
+                // tree.  Both are no-ops while tracing is off.
+                obs::SpanScope adopt(task.ctx);
+                obs::CausalSpan span("executor.task");
+                task.fn();
+            }
             nExecuted.fetch_add(1, std::memory_order_relaxed);
             finishTask(task.job);
             continue;
@@ -156,7 +164,8 @@ Executor::workerLoop(std::uint32_t self)
 void
 Executor::finishTask(const std::shared_ptr<Job> &job)
 {
-    std::function<void()> next;
+    Job::Pending next;
+    bool have_next = false;
     bool idle = false;
     {
         std::lock_guard<std::mutex> lock(job->mtx);
@@ -166,11 +175,12 @@ Executor::finishTask(const std::shared_ptr<Job> &job)
             next = std::move(job->backlog.front());
             job->backlog.pop_front();
             job->released++;
+            have_next = true;
         }
         idle = job->unfinished == 0;
     }
-    if (next)
-        enqueue(Task{std::move(next), job});
+    if (have_next)
+        enqueue(Task{std::move(next.fn), job, next.ctx});
     if (idle)
         job->idleCv.notify_all();
 }
@@ -180,6 +190,10 @@ Executor::finishTask(const std::shared_ptr<Job> &job)
 void
 Executor::Job::submit(std::function<void()> fn)
 {
+    // Capture the submitter's ambient span context here, not at
+    // release time: a backlogged task still belongs to the tree of
+    // whoever submitted it, no matter which worker later frees a slot.
+    const obs::SpanContext ctx = obs::currentSpan();
     bool release = false;
     {
         std::lock_guard<std::mutex> lock(mtx);
@@ -188,11 +202,11 @@ Executor::Job::submit(std::function<void()> fn)
             released++;
             release = true;
         } else {
-            backlog.push_back(std::move(fn));
+            backlog.push_back(Pending{std::move(fn), ctx});
         }
     }
     if (release)
-        exec.enqueue(Task{std::move(fn), shared_from_this()});
+        exec.enqueue(Task{std::move(fn), shared_from_this(), ctx});
 }
 
 void

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hh"
 #include "support/logging.hh"
 
 namespace graphabcd {
@@ -92,9 +93,17 @@ class Executor
         Executor &exec;
         const std::uint32_t limit;   //!< max released tasks
 
+        /** A backlogged task keeps the span context captured at
+         *  submit() so causal attribution survives deferred release. */
+        struct Pending
+        {
+            std::function<void()> fn;
+            obs::SpanContext ctx;
+        };
+
         mutable std::mutex mtx;
         std::condition_variable idleCv;
-        std::deque<std::function<void()>> backlog;
+        std::deque<Pending> backlog;
         std::uint32_t released = 0;   //!< tasks in shards or running
         std::size_t unfinished = 0;   //!< backlog + released
     };
@@ -138,17 +147,28 @@ class Executor
         return static_cast<std::uint32_t>(workers.size());
     }
 
+    /** @return tasks sitting in the shards right now (racy gauge —
+     *  the stall watchdog's diagnosis, not a synchronisation point). */
+    std::size_t
+    queueDepth() const
+    {
+        return queued.load(std::memory_order_relaxed);
+    }
+
     /** @return work-stealing counters. */
     Stats stats() const;
 
   private:
     friend class Job;
 
-    /** One released task: the closure plus its accounting handle. */
+    /** One released task: the closure, its accounting handle, and the
+     *  submitter's span context (adopted by the running worker, so the
+     *  task's trace events land in the submitting job's span tree). */
     struct Task
     {
         std::function<void()> fn;
         std::shared_ptr<Job> job;
+        obs::SpanContext ctx;
     };
 
     /** A worker's run-queue.  Owner pops the front, thieves the back. */

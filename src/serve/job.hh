@@ -166,6 +166,25 @@ struct ServeConfig
     /** Seed for the deadline-shed service-time estimate; 0 disables
      *  shedding until the first measured run. */
     double initialServiceEstimateSeconds = 0.0;
+
+    /**
+     * Stall watchdog: a Running job whose progress counters stay flat
+     * for this many seconds is flagged (structured warning, the
+     * serve.jobs.stalled gauge, a flight-recorder dump when armed).
+     * 0 (the default) disables the watchdog.  No-op under
+     * GRAPHABCD_OBS=OFF.
+     */
+    double stallWindowSeconds = 0.0;
+
+    /** Watchdog poll period (seconds). */
+    double stallCheckSeconds = 0.25;
+
+    /**
+     * Escalate a flagged stall to cancellation: the watchdog requests a
+     * cooperative stop and the job terminalises Cancelled with a
+     * "stalled: ..." diagnosis instead of wedging a worker forever.
+     */
+    bool cancelOnStall = false;
 };
 
 /** Monotonic service counters plus instantaneous gauges. */

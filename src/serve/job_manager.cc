@@ -1,6 +1,7 @@
 #include "serve/job_manager.hh"
 
 #include <chrono>
+#include <sstream>
 
 #include "obs/log.hh"
 #include "obs/obs.hh"
@@ -53,6 +54,31 @@ makeQosConfig(const ServeConfig &cfg)
     return qos;
 }
 
+/** JSON string literal (quotes included) for the flight provider;
+ *  mirrors the flight recorder's own escaping. */
+std::string
+flightQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out += esc;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
 } // namespace
 
 JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
@@ -75,6 +101,19 @@ JobManager::JobManager(GraphRegistry &registry, ServeConfig config)
     workers_.reserve(cfg_.workers);
     for (std::uint32_t i = 0; i < std::max(1u, cfg_.workers); i++)
         workers_.emplace_back([this] { workerLoop(); });
+    if constexpr (obs::kEnabled) {
+        if (cfg_.stallWindowSeconds > 0.0) {
+            obs::StallWatchdog::Config wd;
+            wd.windowSeconds = cfg_.stallWindowSeconds;
+            wd.checkSeconds = cfg_.stallCheckSeconds;
+            watchdog_ = std::make_unique<obs::StallWatchdog>(wd);
+            watchdog_->start();
+        }
+        // When a flight dump fires (fatal, signal, stall, DUMP verb),
+        // include the live job table; removed again in shutdown().
+        flightProviderToken_ = obs::flightAddProvider(
+            "serve", [this] { return flightJson(); });
+    }
     GRAPHABCD_LOG_INFO("serve", "job manager started",
                        LOGF("workers", std::max(1u, cfg_.workers)),
                        LOGF("queue_capacity", cfg_.queueCapacity),
@@ -132,6 +171,14 @@ JobManager::submit(JobRequest req)
     job->familyKey = jobFamilyFingerprint(graph_fp, req);
     job->progress = std::make_shared<Progress>();
     job->submittedAt = monotonicSeconds();
+
+    // Allocate the root of the job's causal span tree here, at
+    // submission: queue wait, the run envelope, executor tasks, and
+    // fragment pumps all hang off this context.
+    if constexpr (obs::kEnabled) {
+        job->traceRoot = obs::SpanContext{job->id, obs::nextSpanId(), 0};
+        obs::instantSpan("serve.submit", job->traceRoot);
+    }
 
     // Arm the cooperative stop: cancel() + optional deadline measured
     // from submission, so time spent queued counts against the budget.
@@ -335,10 +382,21 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
         entry.stats.running++;
         publishTenantGauges(entry);
         if constexpr (obs::kEnabled) {
+            const double wait_us =
+                (job->startedAt - job->submittedAt) * 1e6;
             if (entry.waitHist) {
-                entry.waitHist->record(
-                    (job->startedAt - job->submittedAt) * 1e6);
+                // Exemplar: the latest wait sample carries the job's
+                // root span id, so a histogram outlier links straight
+                // into its trace tree.
+                entry.waitHist->recordExemplar(wait_us, job->id,
+                                               job->traceRoot.span);
             }
+            // The queue wait as a retroactive span under the root:
+            // the tree shows submit -> claim as its own slice.
+            obs::completeSpan(
+                "serve.queue_wait", job->submittedAt * 1e6, wait_us,
+                obs::SpanContext{job->id, obs::nextSpanId(),
+                                 job->traceRoot.span});
         }
         // Open this run's convergence curve in the process-wide
         // recorder.  The sink is a serve-layer hook (like stop and
@@ -352,12 +410,51 @@ JobManager::runJob(const std::shared_ptr<Job> &job)
     }
     running_.fetch_add(1, std::memory_order_relaxed);
 
+    // Watch the run for flat progress.  The progress closure sums the
+    // engine's relaxed counters (lock-free, as the watchdog requires);
+    // the stall closure owns a job reference so a flagged job outlives
+    // any concurrent table pruning.
+    if constexpr (obs::kEnabled) {
+        if (watchdog_) {
+            std::shared_ptr<Progress> progress = job->progress;
+            watchdog_->watch(
+                job->id,
+                "job " + std::to_string(job->id) + " " +
+                    job->req.graph + "/" + job->req.algo + "/" +
+                    job->req.engine,
+                [progress] {
+                    return progress->vertexUpdates.load(
+                               std::memory_order_relaxed) +
+                           progress->blockUpdates.load(
+                               std::memory_order_relaxed) +
+                           progress->edgeTraversals.load(
+                               std::memory_order_relaxed) +
+                           progress->scatterWrites.load(
+                               std::memory_order_relaxed);
+                },
+                [this, job](const std::string &diagnosis) {
+                    onJobStalled(job, diagnosis);
+                });
+        }
+    }
+
     RunOutcome outcome;
+    Timer run_timer;
     {
-        obs::Span span("serve.job");
-        obs::ScopedLatency lat(obs::histogram("serve.job_run_us",
-                                              obs::latencyBucketsUs()));
+        // Adopt the job's root context on this worker thread and open
+        // the run span under it; every engine epoch, executor task and
+        // fragment pump recorded below nests into the same tree.
+        obs::SpanScope adopt(job->traceRoot);
+        obs::Span span("serve.run", job->id);
         outcome = runAnalyticsJob(*job->graph, job->req, executor_);
+    }
+
+    if constexpr (obs::kEnabled) {
+        if (watchdog_)
+            watchdog_->unwatch(job->id);
+        obs::histogram("serve.job_run_us", obs::latencyBucketsUs())
+            .recordExemplar(run_timer.micros(), job->id,
+                            job->traceRoot.span);
     }
 
     running_.fetch_sub(1, std::memory_order_relaxed);
@@ -451,6 +548,17 @@ JobManager::finishJob(const std::shared_ptr<Job> &job, JobState from,
             }
         }
     }
+    // Close the job's root span: the whole submit -> terminal envelope
+    // as one top-level slice of its tree.  Recorded *before* waking
+    // waiters so a WAIT-then-TRACE client always sees the root.  Safe
+    // without mtx_ — only the CAS winner (us) ever writes finishedAt.
+    if constexpr (obs::kEnabled) {
+        if (job->traceRoot.valid()) {
+            obs::completeSpan("serve.job", job->submittedAt * 1e6,
+                              (job->finishedAt - job->submittedAt) * 1e6,
+                              job->traceRoot);
+        }
+    }
     doneCv_.notify_all();
     GRAPHABCD_LOG_INFO("serve", "job finished", LOGF("job", job->id),
                        LOGF("state", to_string(to)),
@@ -489,6 +597,11 @@ JobManager::cancel(JobId id)
 std::string
 JobManager::stopCauseError(const Job &job, bool queued)
 {
+    // A watchdog-escalated stop is its own cause: the acquire load
+    // pairs with onJobStalled's release store, so the diagnosis string
+    // is safely readable once the flag is seen.
+    if (job.stalled.load(std::memory_order_acquire))
+        return "stalled: " + job.stallDiagnosis;
     const StopToken &token = job.req.options.stop;
     const double requested_at = job.stop.requestStopAtSeconds();
     // Both instants are on the raw steady-clock scale (stop_token.hh).
@@ -504,6 +617,73 @@ JobManager::stopCauseError(const Job &job, bool queued)
     return queued ? "cancelled while queued" : "cancelled";
 }
 
+void
+JobManager::onJobStalled(const std::shared_ptr<Job> &job,
+                         const std::string &diagnosis)
+{
+    // Single writer (the watchdog thread): the diagnosis string is
+    // fully written before the release store, so any reader observing
+    // stalled == true (acquire) may read it without a lock.  Only the
+    // first episode keeps its diagnosis.
+    if (!job->stalled.load(std::memory_order_acquire)) {
+        job->stallDiagnosis = diagnosis;
+        job->stalled.store(true, std::memory_order_release);
+    }
+    GRAPHABCD_LOG_WARN("serve", "job stalled", LOGF("job", job->id),
+                       LOGF("tenant", job->req.tenant),
+                       LOGF("engine", job->req.engine),
+                       LOGF("span_root", job->traceRoot.span),
+                       LOGF("pool_queue_depth", executor_->queueDepth()),
+                       LOGF("admit_queue_depth", queue_.size()),
+                       LOGF("diagnosis", diagnosis));
+    obs::flightNote("serve", "job " + std::to_string(job->id) +
+                                 " stalled: " + diagnosis);
+    if (cfg_.cancelOnStall)
+        job->stop.requestStop();
+}
+
+std::string
+JobManager::flightJson() const
+{
+    // Runs as a FlightRecorder provider, outside the recorder mutex;
+    // takes mtx_ like any status() reader.  Gauges first (lock-free).
+    std::ostringstream os;
+    os << "{\"queue_depth\":" << queue_.size()
+       << ",\"running\":" << running_.load(std::memory_order_relaxed)
+       << ",\"jobs\":[";
+    std::lock_guard<std::mutex> lock(mtx_);
+    bool first = true;
+    for (const auto &[id, job] : jobs_) {
+        const Progress &p = *job->progress;
+        os << (first ? "" : ",") << "\n{\"id\":" << id << ",\"state\":"
+           << flightQuote(to_string(
+                  job->state.load(std::memory_order_acquire)))
+           << ",\"tenant\":" << flightQuote(job->req.tenant)
+           << ",\"graph\":" << flightQuote(job->req.graph)
+           << ",\"algo\":" << flightQuote(job->req.algo)
+           << ",\"engine\":" << flightQuote(job->req.engine)
+           << ",\"span_root\":" << job->traceRoot.span
+           << ",\"submitted_at\":" << job->submittedAt
+           << ",\"started_at\":" << job->startedAt
+           << ",\"finished_at\":" << job->finishedAt
+           << ",\"vertex_updates\":"
+           << p.vertexUpdates.load(std::memory_order_relaxed)
+           << ",\"block_updates\":"
+           << p.blockUpdates.load(std::memory_order_relaxed)
+           << ",\"edge_traversals\":"
+           << p.edgeTraversals.load(std::memory_order_relaxed)
+           << ",\"scatter_writes\":"
+           << p.scatterWrites.load(std::memory_order_relaxed)
+           << ",\"stalled\":"
+           << (job->stalled.load(std::memory_order_acquire) ? "true"
+                                                            : "false")
+           << ",\"error\":" << flightQuote(job->error) << "}";
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
 JobManager::TenantEntry &
 JobManager::tenantEntryLocked(const std::string &tenant)
 {
@@ -514,7 +694,13 @@ JobManager::tenantEntryLocked(const std::string &tenant)
     // Resolve the per-tenant instruments once; tenant cardinality is
     // small (lanes are configured, not per-request).  Under
     // GRAPHABCD_OBS=OFF these resolve to the shared no-op instruments.
-    const std::string prefix = "serve.tenant." + tenant + ".";
+    // Metric keys take the *sanitized* tenant name (dump lines and the
+    // Prometheus exposition must stay parseable whatever a client
+    // sends); QoS lanes and the stats map keep the raw name.  Two raw
+    // names may sanitize to the same key — they then share instruments,
+    // which is the documented trade for a bounded character set.
+    const std::string prefix =
+        "serve.tenant." + obs::sanitizeMetricComponent(tenant) + ".";
     entry.queuedGauge = &obs::gauge((prefix + "queued").c_str());
     entry.runningGauge = &obs::gauge((prefix + "running").c_str());
     entry.completedCounter =
@@ -663,6 +849,17 @@ JobManager::shutdown()
 {
     if (shutdown_.exchange(true, std::memory_order_acq_rel))
         return;
+    // The flight provider and the watchdog's stall closures capture
+    // `this`/job records — deregister and quiesce them before any
+    // member is torn down.
+    if constexpr (obs::kEnabled) {
+        if (flightProviderToken_ != 0) {
+            obs::flightRemoveProvider(flightProviderToken_);
+            flightProviderToken_ = 0;
+        }
+        if (watchdog_)
+            watchdog_->stop();
+    }
     // Stop running engines promptly; queued jobs drain as cancelled.
     {
         std::lock_guard<std::mutex> lock(mtx_);

@@ -54,6 +54,8 @@
 #include <vector>
 
 #include "core/stop_token.hh"
+#include "obs/span.hh"
+#include "obs/watchdog.hh"
 #include "runtime/executor.hh"
 #include "serve/graph_registry.hh"
 #include "serve/job.hh"
@@ -153,6 +155,16 @@ class JobManager
         std::shared_ptr<Progress> progress;
         std::shared_ptr<obs::ConvergenceSeries> series;
 
+        /** Root of the job's causal span tree, allocated at submit();
+         *  every engine/executor span of this job descends from it. */
+        obs::SpanContext traceRoot;
+
+        /** Stall flag, published by the watchdog thread (the single
+         *  writer) with release order; stallDiagnosis is written before
+         *  the store and is read-only once `stalled` reads true. */
+        std::atomic<bool> stalled{false};
+        std::string stallDiagnosis;
+
         std::atomic<JobState> state{JobState::Queued};
         double submittedAt = 0.0;   //!< monotonicSeconds()
         double startedAt = 0.0;
@@ -196,6 +208,18 @@ class JobManager
     /** The tenant's accounting entry, created on first sight (mtx_). */
     TenantEntry &tenantEntryLocked(const std::string &tenant);
 
+    /**
+     * Watchdog verdict for one job: publish the diagnosis (single
+     * writer, release store), log a structured warning, and — when
+     * cancelOnStall — request a cooperative stop so the run
+     * terminalises Cancelled with a "stalled: ..." cause.
+     */
+    void onJobStalled(const std::shared_ptr<Job> &job,
+                      const std::string &diagnosis);
+
+    /** Flight-recorder provider: the job table + queue as JSON. */
+    std::string flightJson() const;
+
     /** Push the tenant's queued/running gauges to obs (mtx_ held). */
     void publishTenantGauges(const TenantEntry &entry);
 
@@ -225,6 +249,11 @@ class JobManager
     std::atomic<std::size_t> running_{0};
     std::atomic<bool> shutdown_{false};
     std::vector<std::thread> workers_;
+
+    /** Stall watchdog (null unless cfg_.stallWindowSeconds > 0 and obs
+     *  is compiled in); jobs are watched for the span of their run. */
+    std::unique_ptr<obs::StallWatchdog> watchdog_;
+    std::uint64_t flightProviderToken_ = 0;
 };
 
 } // namespace graphabcd

@@ -1,6 +1,9 @@
 #include "serve/runner.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 
 #include "algorithms/extras.hh"
 #include "algorithms/label_propagation.hh"
@@ -97,6 +100,47 @@ runAccumJob(const BlockPartition &g, const JobRequest &req)
     return out;
 }
 
+/**
+ * The wedge engine: deliberately makes no progress, for exercising the
+ * stall watchdog end to end (tests, the ci.sh stall drill).  Hidden
+ * behind an environment gate so production clients cannot reach it by
+ * mistyping an engine name.
+ */
+bool
+wedgeEngineEnabled()
+{
+    const char *env = std::getenv("GRAPHABCD_ENABLE_WEDGE_ENGINE");
+    return env != nullptr && *env != '\0';
+}
+
+RunOutcome
+runWedgeJob(const BlockPartition &g, const JobRequest &req)
+{
+    // Poll the stop token without ever touching the Progress sink:
+    // from the watchdog's point of view this job is perfectly wedged,
+    // yet it still cancels cooperatively.  The time cap is a safety
+    // net for misconfigured drills, not part of the contract.
+    RunOutcome out;
+    const auto start = std::chrono::steady_clock::now();
+    bool stopped = false;
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::seconds(30)) {
+        if (req.options.stop.stopRequested()) {
+            stopped = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    out.values.assign(g.numVertices(), 0.0);
+    out.report.stopped = stopped;
+    out.report.converged = false;
+    out.report.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return out;
+}
+
 /** Algorithms whose fixpoint depends on JobRequest::source. */
 bool
 algoUsesSource(const std::string &algo)
@@ -167,7 +211,9 @@ runAnalyticsJob(const BlockPartition &g, const JobRequest &req,
 
     const JobRequest &r = *effective;
     RunOutcome out;
-    if (r.engine == "accum")
+    if (r.engine == "wedge")
+        out = runWedgeJob(g, r);
+    else if (r.engine == "accum")
         out = runAccumJob(g, r);
     else if (r.algo == "pr")
         out = runWith(g, PageRankProgram(), r);
@@ -216,6 +262,9 @@ isRunnable(const JobRequest &req, std::string *why)
     bool engine_ok = false;
     for (const char *e : engines)
         engine_ok = engine_ok || req.engine == e;
+    // The watchdog drill engine exists only when explicitly enabled.
+    if (req.engine == "wedge" && wedgeEngineEnabled())
+        engine_ok = true;
     bool combo_ok = true;
     if (algo_ok && engine_ok && req.engine == "accum") {
         combo_ok = false;

@@ -113,24 +113,31 @@ warn(Args &&...args)
 
 /**
  * Report an unrecoverable *user* error (bad parameters, malformed file).
+ * Fires the obs fatal hook (flight-recorder dump) before throwing.
  * @throws FatalError always.
  */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    throw FatalError(detail::concat(std::forward<Args>(args)...));
+    std::string message = detail::concat(std::forward<Args>(args)...);
+    obs::notifyFatal(message.c_str());
+    throw FatalError(message);
 }
 
 /**
- * Report an internal invariant violation (a library bug).
+ * Report an internal invariant violation (a library bug).  Fires the
+ * same fatal hook as fatal(): an invariant violation is precisely when
+ * the flight recorder's black box is worth capturing.
  * @throws PanicError always.
  */
 template <typename... Args>
 [[noreturn]] void
 panic(Args &&...args)
 {
-    throw PanicError(detail::concat(std::forward<Args>(args)...));
+    std::string message = detail::concat(std::forward<Args>(args)...);
+    obs::notifyFatal(message.c_str());
+    throw PanicError(message);
 }
 
 } // namespace graphabcd

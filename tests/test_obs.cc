@@ -16,8 +16,11 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -32,11 +35,18 @@
 #include "obs/convergence.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "obs/flight.hh"
 #include "obs/metrics_server.hh"
 #include "obs/obs.hh"
+#include "obs/span.hh"
+#include "obs/watchdog.hh"
 #include "obs/prometheus.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "runtime/executor.hh"
+#include "serve/graph_registry.hh"
+#include "serve/job_manager.hh"
+#include "support/logging.hh"
 
 namespace graphabcd {
 namespace {
@@ -807,6 +817,701 @@ TEST(EngineObs, GraphMatBaselineRecordsOneSamplePerSuperstep)
     for (std::size_t i = 1; i < pts.size(); i++)
         EXPECT_LE(pts[i].residual, pts[i - 1].residual + 1e-12);
     EXPECT_EQ(pts.back().vertexUpdates, report.vertexUpdates);
+}
+
+// ------------------------------------------- causal tracing / health
+
+// A tiny recursive-descent JSON parser — just enough to *prove* the
+// Chrome-trace exporter and the flight recorder emit well-formed JSON
+// (the acceptance bar is "chrome://tracing and jq can load it", not
+// substring containment).  Not general: \u escapes decode to '?'.
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        auto it = members.find(key);
+        return it == members.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &in) : in_(in) {}
+
+    bool
+    parse(JsonValue *out, std::string *why)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            *why = error_.empty() ? "parse error" : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != in_.size()) {
+            *why = "trailing garbage at byte " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < in_.size() &&
+               std::isspace(static_cast<unsigned char>(in_[pos_])))
+            pos_++;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < in_.size() && in_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= in_.size())
+            return fail("unexpected end of input");
+        const char c = in_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->text);
+        }
+        if (c == 't' || c == 'f' || c == 'n')
+            return parseLiteral(out);
+        return parseNumber(out);
+    }
+
+    bool
+    parseLiteral(JsonValue *out)
+    {
+        auto match = [&](const char *word) {
+            const std::size_t n = std::strlen(word);
+            if (in_.compare(pos_, n, word) != 0)
+                return false;
+            pos_ += n;
+            return true;
+        };
+        if (match("true")) {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (match("false")) {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return true;
+        }
+        if (match("null")) {
+            out->kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const char *start = in_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("bad number");
+        pos_ += static_cast<std::size_t>(end - start);
+        out->kind = JsonValue::Kind::Number;
+        out->number = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out->clear();
+        while (pos_ < in_.size()) {
+            const char c = in_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= in_.size())
+                return fail("dangling escape");
+            const char e = in_[pos_++];
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u':
+                if (pos_ + 4 > in_.size())
+                    return fail("short \\u escape");
+                pos_ += 4;
+                out->push_back('?');
+                break;
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        consume('[');
+        out->kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue item;
+            skipWs();
+            if (!parseValue(&item))
+                return false;
+            out->items.push_back(std::move(item));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        consume('{');
+        out->kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value))
+                return false;
+            out->members.emplace(std::move(key), std::move(value));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &in_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *why)
+{
+    return JsonParser(text).parse(out, why);
+}
+
+struct SpanNode
+{
+    std::string name;
+    std::uint64_t parent = 0;
+};
+
+/** span id -> {name, parent} for every event of `job` in a parsed
+ *  Chrome trace (the serve.submit instant shares the root's span id,
+ *  so root still maps to a single node). */
+std::map<std::uint64_t, SpanNode>
+spanTreeOf(const JsonValue &doc, std::uint64_t job)
+{
+    std::map<std::uint64_t, SpanNode> tree;
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events)
+        return tree;
+    for (const JsonValue &e : events->items) {
+        const JsonValue *args = e.find("args");
+        const JsonValue *name = e.find("name");
+        if (!args || !name)
+            continue;
+        const JsonValue *j = args->find("job");
+        const JsonValue *s = args->find("span");
+        const JsonValue *p = args->find("parent");
+        if (!j || !s || !p ||
+            static_cast<std::uint64_t>(j->number) != job)
+            continue;
+        tree[static_cast<std::uint64_t>(s->number)] =
+            SpanNode{name->text, static_cast<std::uint64_t>(p->number)};
+    }
+    return tree;
+}
+
+TEST(TraceRecorder, RingOverwriteCountsDrops)
+{
+    const std::uint64_t before =
+        MetricsRegistry::global().counter("obs.trace.dropped").value();
+
+    TraceRecorder rec(4);
+    rec.setEnabled(true);
+    for (int i = 0; i < 10; i++)
+        rec.complete("e", static_cast<double>(i), 1.0);
+
+    EXPECT_EQ(rec.eventCount(), 4u);    // ring keeps the newest 4
+    EXPECT_EQ(rec.droppedCount(), 6u);  // ...and owns up to the rest
+    EXPECT_EQ(MetricsRegistry::global().counter("obs.trace.dropped")
+                  .value() - before,
+              6u);
+
+    rec.clear();
+    EXPECT_EQ(rec.eventCount(), 0u);
+    EXPECT_EQ(rec.droppedCount(), 0u);
+}
+
+TEST(TraceRecorder, ChromeExportWithSpanArgsIsWellFormedJson)
+{
+    TraceRecorder rec(64);
+    rec.setEnabled(true);
+    rec.complete("root", 10.0, 5.0, /*job=*/7, /*span=*/100,
+                 /*parent=*/0);
+    rec.complete("child", 11.0, 1.0, 7, 101, 100);
+    rec.instant("na\"me\nwith\\escapes");  // exporter must escape these
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+
+    JsonValue doc;
+    std::string why;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &why)) << why;
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+    EXPECT_EQ(events->items.size(), 3u);
+
+    bool found_child = false;
+    for (const JsonValue &e : events->items) {
+        const JsonValue *name = e.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->text != "child")
+            continue;
+        found_child = true;
+        const JsonValue *args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->find("job")->number, 7.0);
+        EXPECT_EQ(args->find("span")->number, 101.0);
+        EXPECT_EQ(args->find("parent")->number, 100.0);
+    }
+    EXPECT_TRUE(found_child);
+}
+
+TEST(CausalSpan, ExecutorTasksInheritTheSubmittersSpanTree)
+{
+    TraceRecorder &rec = TraceRecorder::global();
+    rec.clear();
+    rec.setEnabled(true);
+
+    const obs::SpanContext root{/*job=*/7, obs::nextSpanId(),
+                                /*parent=*/0};
+    {
+        Executor exec(2);
+        // participation 2 < 4 submits: the last two ride the backlog,
+        // which must carry the captured context just like the fast path.
+        auto job = exec.createJob(2);
+        {
+            obs::SpanScope adopt(root);
+            for (int i = 0; i < 4; i++)
+                job->submit([] { obs::Span inner("test.inner"); });
+        }
+        job->wait();
+    }
+    rec.setEnabled(false);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    rec.clear();
+
+    JsonValue doc;
+    std::string why;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &why)) << why;
+    const auto tree = spanTreeOf(doc, 7);
+
+    std::size_t tasks = 0;
+    std::size_t inners = 0;
+    for (const auto &[span, node] : tree) {
+        (void)span;
+        if (node.name == "executor.task") {
+            tasks++;
+            EXPECT_EQ(node.parent, root.span);
+        } else if (node.name == "test.inner") {
+            inners++;
+            const auto parent = tree.find(node.parent);
+            ASSERT_NE(parent, tree.end());
+            EXPECT_EQ(parent->second.name, "executor.task");
+        }
+    }
+    EXPECT_EQ(tasks, 4u);
+    EXPECT_EQ(inners, 4u);
+}
+
+TEST(ServeObs, FragmentServeJobFormsOneCausalSpanTree)
+{
+    TraceRecorder &rec = TraceRecorder::global();
+    rec.clear();
+    rec.setEnabled(true);
+
+    Rng rng(91);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(300, 2400, rng), 32);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    JobManager manager(registry, cfg);
+
+    JobRequest req;
+    req.graph = "g";
+    req.algo = "pr";
+    req.engine = "fragment";
+    req.options.fragments = 4;
+    req.options.numThreads = 2;
+    req.allowCached = false;
+    req.allowWarmStart = false;
+    const auto sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(manager.wait(sub.id, 60.0));
+    manager.shutdown();
+    rec.setEnabled(false);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    rec.clear();
+
+    JsonValue doc;
+    std::string why;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &why)) << why;
+    const auto tree = spanTreeOf(doc, sub.id);
+    ASSERT_FALSE(tree.empty());
+
+    // Exactly one root (parent == 0): the serve.job span.
+    std::uint64_t root = 0;
+    std::size_t roots = 0;
+    for (const auto &[span, node] : tree) {
+        if (node.parent == 0) {
+            root = span;
+            roots++;
+        }
+    }
+    EXPECT_EQ(roots, 1u);
+
+    // Every span reaches the root through recorded parents: one
+    // causally connected tree, no orphans.
+    for (const auto &[span, node] : tree) {
+        (void)node;
+        std::uint64_t cur = span;
+        int steps = 0;
+        while (cur != root) {
+            const auto it = tree.find(cur);
+            ASSERT_NE(it, tree.end())
+                << "span " << span << " orphaned at " << cur;
+            cur = it->second.parent;
+            ASSERT_LT(++steps, 64);
+        }
+    }
+
+    // The tree contains each layer of the job's execution.
+    std::map<std::string, std::size_t> names;
+    for (const auto &[span, node] : tree) {
+        (void)span;
+        names[node.name]++;
+    }
+    EXPECT_GE(names["serve.queue_wait"], 1u);
+    EXPECT_GE(names["serve.run"], 1u);
+    EXPECT_GE(names["engine.fragment.run"], 1u);
+    EXPECT_GE(names["fragment.pump"], 1u);
+    EXPECT_GE(names["executor.task"], 1u);
+}
+
+TEST(Histogram, ExemplarLinksASampleToItsSpan)
+{
+    obs::Histogram h({1.0, 10.0});
+    h.recordExemplar(5.0, /*job=*/42, /*span=*/99);
+    h.record(0.5);   // plain samples do not disturb the exemplar
+
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    ASSERT_TRUE(snap.hasExemplar);
+    EXPECT_DOUBLE_EQ(snap.exemplarValue, 5.0);
+    EXPECT_EQ(snap.exemplarJob, 42u);
+    EXPECT_EQ(snap.exemplarSpan, 99u);
+
+    h.reset();
+    EXPECT_FALSE(h.snapshot().hasExemplar);
+
+    obs::histogram("test.exemplar_us", {1.0, 10.0})
+        .recordExemplar(7.0, 11, 12);
+    const std::string dump = obs::dumpMetrics();
+    EXPECT_NE(dump.find("ex_job=11"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("ex_span=12"), std::string::npos) << dump;
+}
+
+TEST(ServeObs, TenantMetricKeysAreSanitized)
+{
+    EXPECT_EQ(obs::sanitizeMetricComponent("bad tenant\"name"),
+              "bad_tenant_name");
+    EXPECT_EQ(obs::sanitizeMetricComponent(""), "_");
+
+    Rng rng(17);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(120, 700, rng), 32);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    JobManager manager(registry, cfg);
+
+    JobRequest req;
+    req.graph = "g";
+    req.algo = "pr";
+    req.engine = "serial";
+    req.tenant = "bad tenant\"name";
+    req.allowCached = false;
+    req.allowWarmStart = false;
+    const auto sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(manager.wait(sub.id, 30.0));
+
+    // The QoS lane keeps the raw name; only metric keys are sanitized.
+    EXPECT_EQ(manager.tenantStats().count("bad tenant\"name"), 1u);
+    const std::string dump = obs::dumpMetrics();
+    EXPECT_NE(dump.find("serve.tenant.bad_tenant_name."),
+              std::string::npos);
+    EXPECT_EQ(dump.find("tenant\"name"), std::string::npos);
+
+    std::string why;
+    EXPECT_TRUE(prom::validate(obs::prometheusText(), &why)) << why;
+    manager.shutdown();
+}
+
+TEST(StallWatchdog, FlagsFlatProgressAndRecoversPerEpisode)
+{
+    obs::StallWatchdog::Config cfg;
+    cfg.windowSeconds = 0.05;
+    cfg.checkSeconds = 3600.0;   // pollNow() drives every check
+    cfg.dumpFlightOnStall = false;
+    obs::StallWatchdog dog(cfg);  // no start(): fully deterministic
+
+    std::atomic<std::uint64_t> counter{0};
+    std::string diagnosis;       // written by pollNow() on this thread
+    dog.watch(1, "unit-task", [&] { return counter.load(); },
+              [&](const std::string &d) { diagnosis = d; });
+
+    dog.pollNow();
+    EXPECT_FALSE(dog.isFlagged(1));   // window not yet elapsed
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    dog.pollNow();
+    EXPECT_TRUE(dog.isFlagged(1));
+    EXPECT_EQ(dog.stallEvents(), 1u);
+    EXPECT_EQ(dog.flaggedCount(), 1u);
+    EXPECT_NE(diagnosis.find("no progress"), std::string::npos)
+        << diagnosis;
+
+    counter++;                        // progress resumes...
+    dog.pollNow();
+    EXPECT_FALSE(dog.isFlagged(1));   // ...task recovers
+    EXPECT_EQ(dog.flaggedCount(), 0u);
+    EXPECT_EQ(dog.stallEvents(), 1u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    dog.pollNow();                    // flat again: a second episode
+    EXPECT_TRUE(dog.isFlagged(1));
+    EXPECT_EQ(dog.stallEvents(), 2u);
+
+    dog.unwatch(1);
+    EXPECT_EQ(dog.flaggedCount(), 0u);
+    EXPECT_EQ(MetricsRegistry::global().gauge("serve.jobs.stalled")
+                  .value(),
+              0.0);
+}
+
+TEST(ServeObs, WatchdogCancelsWedgedJobWithStallDiagnosis)
+{
+    ::setenv("GRAPHABCD_ENABLE_WEDGE_ENGINE", "1", 1);
+    const std::uint64_t events_before =
+        MetricsRegistry::global()
+            .counter("serve.jobs.stall_events")
+            .value();
+
+    Rng rng(23);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(60, 300, rng), 32);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.stallWindowSeconds = 0.1;
+    cfg.stallCheckSeconds = 0.02;
+    cfg.cancelOnStall = true;
+    JobManager manager(registry, cfg);
+
+    JobRequest req;
+    req.graph = "g";
+    req.algo = "pr";
+    req.engine = "wedge";   // burns wall-clock, never touches Progress
+    req.allowCached = false;
+    req.allowWarmStart = false;
+    const auto sub = manager.submit(req);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(manager.wait(sub.id, 20.0));
+
+    const auto status = manager.status(sub.id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::Cancelled);
+    EXPECT_EQ(status->error.rfind("stalled:", 0), 0u) << status->error;
+    EXPECT_GE(MetricsRegistry::global()
+                  .counter("serve.jobs.stall_events")
+                  .value(),
+              events_before + 1);
+    manager.shutdown();
+    ::unsetenv("GRAPHABCD_ENABLE_WEDGE_ENGINE");
+}
+
+TEST(FlightRecorder, FatalDumpWritesParseableBlackBox)
+{
+    Rng rng(29);
+    GraphRegistry registry;
+    registry.add("g", generateRmat(60, 300, rng), 32);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    JobManager manager(registry, cfg);   // registers the serve provider
+
+    const std::string path =
+        testing::TempDir() + "graphabcd_flight_test.json";
+    std::remove(path.c_str());
+    obs::flightArm(path);
+    obs::flightNote("test", "before the crash");
+    EXPECT_THROW(fatal("obs-test: deliberate fatal"), FatalError);
+    obs::flightDisarm();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no flight dump at " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    JsonValue doc;
+    std::string why;
+    ASSERT_TRUE(parseJson(buf.str(), &doc, &why)) << why;
+
+    const JsonValue *reason = doc.find("reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_EQ(reason->text.rfind("fatal:", 0), 0u) << reason->text;
+    EXPECT_NE(reason->text.find("obs-test"), std::string::npos);
+
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_NE(metrics->find("counters"), nullptr);
+    EXPECT_NE(metrics->find("gauges"), nullptr);
+    EXPECT_NE(metrics->find("histograms"), nullptr);
+
+    const JsonValue *trace = doc.find("trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_NE(trace->find("traceEvents"), nullptr);
+
+    const JsonValue *providers = doc.find("providers");
+    ASSERT_NE(providers, nullptr);
+    EXPECT_NE(providers->find("serve"), nullptr);
+
+    const JsonValue *notes = doc.find("notes");
+    ASSERT_NE(notes, nullptr);
+    bool noted = false;
+    for (const JsonValue &n : notes->items) {
+        const JsonValue *text = n.find("text");
+        if (text &&
+            text->text.find("before the crash") != std::string::npos)
+            noted = true;
+    }
+    EXPECT_TRUE(noted);
+
+    manager.shutdown();
+    std::remove(path.c_str());
+}
+
+// Named its own suite so the tsan CI leg can select it by filter.
+TEST(MetricsServerStress, ConcurrentScrapesGetCompleteBodies)
+{
+    MetricsRegistry::global().counter("test.stress_sentinel").add(1);
+
+    MetricsServer server;
+    std::string error;
+    ASSERT_TRUE(server.start(0, &error)) << error;
+    ASSERT_GT(server.port(), 0);
+
+    std::atomic<bool> stop{false};
+    std::thread recorder([&] {
+        obs::Histogram &h = obs::histogram("test.stress_hist_us",
+                                           obs::latencyBucketsUs());
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            i++;
+            h.recordExemplar(static_cast<double>(i % 1000), i, i);
+        }
+    });
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> scrapers;
+    for (int t = 0; t < 4; t++) {
+        scrapers.emplace_back([&] {
+            for (int i = 0; i < 25; i++) {
+                const std::string reply =
+                    httpGet(server.port(), "/metrics");
+                if (reply.find("HTTP/1.0 200 OK") ==
+                        std::string::npos ||
+                    reply.find("\r\n\r\n") == std::string::npos ||
+                    reply.find("test_stress_sentinel") ==
+                        std::string::npos)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : scrapers)
+        t.join();
+    stop.store(true);
+    recorder.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    server.stop();
 }
 
 #endif // GRAPHABCD_OBS_ENABLED

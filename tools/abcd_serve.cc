@@ -21,7 +21,16 @@
  *   TRACE <file>          write the trace buffer as Chrome JSON
  *   METRICS               Prometheus text exposition of the registry
  *   CONV <job-id> [file]  the job's convergence curve as CSV
+ *   DUMP <file>           write a flight-recorder snapshot (black box)
  *   GRAPHS | STATS | HELP | QUIT
+ *
+ * Debugging: --flight=PATH arms the flight recorder — fatal errors,
+ * fatal signals, and watchdog stalls dump the black box (recent logs,
+ * job table, metrics, trace rings) to PATH; DUMP <file> captures the
+ * same snapshot on demand.  --stall-window=SECONDS starts the stall
+ * watchdog (a Running job whose progress counters stay flat that long
+ * is flagged), --stall-check its poll period, and --stall-cancel
+ * escalates a flagged stall to cooperative cancellation.
  *
  * Multi-tenant QoS: --tenants=name:weight[:inflight[:queued]],...
  * configures per-tenant fair-share weights and quotas (e.g.
@@ -162,6 +171,8 @@ class ServeShell
                 metrics();
             else if (cmd == "CONV")
                 conv(tokens);
+            else if (cmd == "DUMP")
+                dump(tokens);
             else
                 std::printf("ERR BadCommand unknown command '%s'\n",
                             cmd.c_str());
@@ -179,7 +190,7 @@ class ServeShell
     {
         std::printf(
             "OK commands: LOAD RUN STATUS WAIT CANCEL VALUE GRAPHS "
-            "STATS TENANTS TRACE METRICS CONV HELP QUIT\n");
+            "STATS TENANTS TRACE METRICS CONV DUMP HELP QUIT\n");
     }
 
     void
@@ -514,6 +525,24 @@ class ServeShell
     }
 
     void
+    dump(const std::vector<std::string> &tokens)
+    {
+        if (tokens.size() < 2) {
+            std::printf("ERR BadCommand usage: DUMP <file>\n");
+            return;
+        }
+        if (!obs::flightDump(tokens[1], "DUMP verb")) {
+            std::printf("ERR DumpFailed cannot write %s%s\n",
+                        tokens[1].c_str(),
+                        obs::kEnabled
+                            ? ""
+                            : " (built with GRAPHABCD_OBS=OFF)");
+            return;
+        }
+        std::printf("OK flight %s\n", tokens[1].c_str());
+    }
+
+    void
     trace(const std::vector<std::string> &tokens)
     {
         if (tokens.size() < 2) {
@@ -570,6 +599,18 @@ main(int argc, char **argv)
     flags.declareBool("echo", false, "echo commands (for transcripts)");
     flags.declareBool("trace", true,
                       "record trace events for the TRACE verb");
+    flags.declare("flight", "",
+                  "arm the flight recorder: dump the black box to this "
+                  "path on fatal errors, fatal signals, and stalls");
+    flags.declareDouble("stall-window", 0.0,
+                        "flag a running job whose progress counters "
+                        "stay flat this many seconds (0 = watchdog "
+                        "off)");
+    flags.declareDouble("stall-check", 0.25,
+                        "stall watchdog poll period in seconds");
+    flags.declareBool("stall-cancel", false,
+                      "escalate a flagged stall to cooperative "
+                      "cancellation");
     flags.declareInt("metrics-port", -1,
                      "serve /metrics on 127.0.0.1:PORT (0 = ephemeral, "
                      "-1 = disabled)");
@@ -596,6 +637,9 @@ main(int argc, char **argv)
     cfg.shedOnDeadline = flags.getBool("shed-deadline");
     cfg.initialServiceEstimateSeconds =
         flags.getDouble("service-estimate");
+    cfg.stallWindowSeconds = flags.getDouble("stall-window");
+    cfg.stallCheckSeconds = flags.getDouble("stall-check");
+    cfg.cancelOnStall = flags.getBool("stall-cancel");
     if (!flags.get("tenants").empty()) {
         std::string spec_error;
         if (!parseTenantQosSpecs(flags.get("tenants"), &cfg.tenantQos,
@@ -606,6 +650,10 @@ main(int argc, char **argv)
     }
 
     obs::setTracingEnabled(flags.getBool("trace"));
+    if (!flags.get("flight").empty()) {
+        obs::flightArm(flags.get("flight"));
+        obs::flightArmSignals();
+    }
     if (!flags.get("log-level").empty())
         obs::Logger::global().setLevel(
             obs::parseLogLevel(flags.get("log-level").c_str()));
